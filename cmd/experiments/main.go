@@ -1,0 +1,75 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Table 1, Table 2, Figure 1, Theorem 8.1) from the simulator
+// and prints them as plain-text tables.
+//
+// Usage:
+//
+//	experiments [-exp name|all] [-quick] [-seed N] [-trials N] [-o file]
+//
+// Experiment names: ack, proglb, approg, decay, smb, mmb, cons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sinrmac/internal/exp"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expName = flag.String("exp", "all", "experiment to run ("+strings.Join(exp.Names(), ", ")+" or all)")
+		quick   = flag.Bool("quick", false, "shrink all sweeps so the suite finishes in seconds")
+		seed    = flag.Uint64("seed", 1, "random seed for deployments and simulations")
+		trials  = flag.Int("trials", 0, "repetitions per data point (0 = per-experiment default)")
+		outPath = flag.String("o", "", "also write the tables to this file")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+
+	var tables []exp.Table
+	if *expName == "all" {
+		all, err := exp.RunAll(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		tables = all
+	} else {
+		runner, ok := exp.Registry()[*expName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (valid: %s)\n", *expName, strings.Join(exp.Names(), ", "))
+			return 2
+		}
+		table, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		tables = []exp.Table{table}
+	}
+
+	var out strings.Builder
+	for i, t := range tables {
+		if i > 0 {
+			out.WriteString("\n")
+		}
+		out.WriteString(t.Format())
+	}
+	fmt.Print(out.String())
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(out.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *outPath, err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+// Command macbench runs the ablation sweeps that DESIGN.md calls out for
+// the Algorithm 9.1 parameters: it measures the approximate-progress
+// latency of a fixed dense-cluster workload while varying one structural
+// constant at a time (the transmission probability p, the data divisor
+// scale QScale, and the discovery block scale TFactor).
+//
+// The output justifies the defaults used by the experiment harness and
+// shows how the epoch structure trades discovery reliability against data
+// throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sinrmac/internal/approgress"
+	"sinrmac/internal/core"
+	"sinrmac/internal/rng"
+	"sinrmac/internal/sim"
+	"sinrmac/internal/sinr"
+	"sinrmac/internal/stats"
+	"sinrmac/internal/topology"
+)
+
+// listener records the first rcv slot at its node.
+type listener struct {
+	core.NopLayer
+	rcvSlot int64
+}
+
+func (l *listener) OnRcv(slot int64, m core.Message) {
+	if l.rcvSlot < 0 {
+		l.rcvSlot = slot
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		nodes  = flag.Int("n", 24, "cluster size (the listener plus n-1 broadcasters)")
+		trials = flag.Int("trials", 3, "trials per configuration")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("ablation workload: one cluster of %d nodes, %d broadcasters, listener = node 0\n\n", *nodes, *nodes-1)
+
+	base := func(lambda float64) approgress.Config {
+		cfg := approgress.DefaultConfig(lambda, 0.1, 3)
+		cfg.QScale = 0.5
+		cfg.TFactor = 4
+		cfg.MISRounds = 4
+		cfg.DataFactor = 2
+		return cfg
+	}
+
+	type variant struct {
+		name   string
+		mutate func(*approgress.Config)
+	}
+	groups := []struct {
+		title    string
+		variants []variant
+	}{
+		{"transmission probability p", []variant{
+			{"p=0.05", func(c *approgress.Config) { c.P = 0.05 }},
+			{"p=0.10 (default)", func(c *approgress.Config) { c.P = 0.10 }},
+			{"p=0.25", func(c *approgress.Config) { c.P = 0.25 }},
+		}},
+		{"data divisor scale QScale", []variant{
+			{"QScale=0.25", func(c *approgress.Config) { c.QScale = 0.25 }},
+			{"QScale=0.5 (default)", func(c *approgress.Config) { c.QScale = 0.5 }},
+			{"QScale=1.0 (paper formula)", func(c *approgress.Config) { c.QScale = 1.0 }},
+		}},
+		{"discovery block scale TFactor", []variant{
+			{"TFactor=2", func(c *approgress.Config) { c.TFactor = 2 }},
+			{"TFactor=4 (default)", func(c *approgress.Config) { c.TFactor = 4 }},
+			{"TFactor=8", func(c *approgress.Config) { c.TFactor = 8 }},
+		}},
+	}
+
+	for _, g := range groups {
+		fmt.Printf("== %s\n", g.title)
+		fmt.Printf("%-28s  %10s  %10s  %10s\n", "variant", "epoch_len", "median", "max")
+		for _, v := range g.variants {
+			latencies, epochLen, err := measure(*nodes, *trials, *seed, base, v.mutate)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("%-28s  %10d  %10.0f  %10.0f\n", v.name, epochLen, stats.Median(latencies), stats.Max(latencies))
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+func measure(n, trials int, seed uint64, base func(float64) approgress.Config, mutate func(*approgress.Config)) ([]float64, int64, error) {
+	var latencies []float64
+	var epochLen int64
+	for trial := 0; trial < trials; trial++ {
+		s := seed + uint64(trial)*7919
+		d, err := topology.Clusters(1, n, sinr.DefaultParams(30), rng.New(s))
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg := base(d.Lambda())
+		mutate(&cfg)
+		epochLen = cfg.EpochLen()
+
+		probe := &listener{rcvSlot: -1}
+		simNodes := make([]sim.Node, d.NumNodes())
+		apNodes := make([]*approgress.Node, d.NumNodes())
+		for i := range simNodes {
+			node := approgress.NewNode(cfg, 0, nil)
+			if i == 0 {
+				node.SetLayer(probe)
+			}
+			apNodes[i] = node
+			simNodes[i] = node
+		}
+		ch, err := d.Channel()
+		if err != nil {
+			return nil, 0, err
+		}
+		eng, err := sim.NewEngine(ch, simNodes, sim.Config{Seed: s})
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 1; i < d.NumNodes(); i++ {
+			apNodes[i].Bcast(0, core.Message{ID: core.MessageID(1000 + i), Origin: i})
+		}
+		deadline := 4 * cfg.EpochLen()
+		eng.Run(deadline, func() bool { return probe.rcvSlot >= 0 })
+		first := probe.rcvSlot
+		if first < 0 {
+			first = deadline
+		}
+		latencies = append(latencies, float64(first))
+	}
+	return latencies, epochLen, nil
+}

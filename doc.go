@@ -1,0 +1,17 @@
+// Package sinrmac is a simulation-backed reproduction of "A Local Broadcast
+// Layer for the SINR Network Model" (Halldórsson, Holzer, Lynch; PODC
+// 2015).
+//
+// The implementation lives under internal/: the SINR physical model and
+// slotted simulator (internal/sinr, internal/sim), the abstract MAC layer
+// specification and checker (internal/core), the acknowledgment and
+// approximate-progress algorithms (internal/hmbcast, internal/approgress),
+// the combined MAC of Algorithm 11.1 (internal/mac), the higher-level
+// broadcast and consensus protocols (internal/bcastproto,
+// internal/consensus) and the experiment harness that regenerates the
+// paper's tables and figures (internal/exp).
+//
+// Runnable entry points are provided under cmd/ and examples/; the
+// top-level benchmark suite (bench_test.go) regenerates every table and
+// figure via `go test -bench=.`.
+package sinrmac

@@ -1,0 +1,260 @@
+// Package bcastproto implements the global broadcast protocols of
+// Khabbazian, Kowalski, Kuhn and Lynch [37] on top of the abstract MAC
+// layer, as used by Section 12 of the paper:
+//
+//   - BMMB (Basic Multi-Message Broadcast): every node maintains a FIFO
+//     queue of messages to broadcast and a set of already-seen messages;
+//     whenever the MAC layer is idle the head of the queue is broadcast,
+//     and every newly received message is delivered to the environment and
+//     appended to the queue.
+//   - BSMB (Basic Single-Message Broadcast): BMMB specialised to one
+//     message that starts at a designated initial node i₀.
+//   - Relay: the minimal "forward once" layer used to run the Daum et
+//     al. [14]-style direct broadcast baseline over a progress-only MAC
+//     that never acknowledges.
+//
+// The protocols are written purely against core.MAC and core.Layer, so the
+// same code runs over the combined MAC of Algorithm 11.1, the
+// acknowledgment-only MAC, or the Decay baseline — exactly the portability
+// the absMAC abstraction is meant to provide.
+package bcastproto
+
+import (
+	"sort"
+
+	"sinrmac/internal/core"
+	"sinrmac/internal/rng"
+)
+
+// Delivery records one message delivered to the environment at one node.
+type Delivery struct {
+	// Msg is the delivered message.
+	Msg core.Message
+	// Slot is the slot at which the deliver event occurred.
+	Slot int64
+}
+
+// BMMB is the per-node Basic Multi-Message Broadcast layer.
+type BMMB struct {
+	node int
+	mac  core.MAC
+
+	queue     []core.Message
+	inFlight  bool
+	rcvd      map[core.MessageID]bool
+	delivered []Delivery
+}
+
+var _ core.Layer = (*BMMB)(nil)
+
+// NewBMMB returns a BMMB layer with the given initial messages (the
+// messages the environment "arrives" at this node at time zero; they are
+// delivered locally at slot 0).
+func NewBMMB(initial ...core.Message) *BMMB {
+	b := &BMMB{rcvd: make(map[core.MessageID]bool)}
+	for _, m := range initial {
+		b.arrive(0, m)
+	}
+	return b
+}
+
+// NewBSMB returns the Basic Single-Message Broadcast layer for one node:
+// the designated initial node passes its message, every other node passes
+// nothing.
+func NewBSMB(initial ...core.Message) *BMMB {
+	return NewBMMB(initial...)
+}
+
+// arrive implements the arrive(m)/deliver(m) pair of the BMMB protocol.
+func (b *BMMB) arrive(slot int64, m core.Message) {
+	if b.rcvd[m.ID] {
+		return
+	}
+	b.rcvd[m.ID] = true
+	b.delivered = append(b.delivered, Delivery{Msg: m, Slot: slot})
+	b.queue = append(b.queue, m)
+}
+
+// Attach implements core.Layer.
+func (b *BMMB) Attach(node int, mac core.MAC, src *rng.Source) {
+	b.node = node
+	b.mac = mac
+}
+
+// OnSlot implements core.Layer: when the MAC is idle and the queue is not
+// empty, broadcast the head of the queue.
+func (b *BMMB) OnSlot(slot int64) {
+	if b.inFlight || len(b.queue) == 0 || b.mac == nil || b.mac.Busy() {
+		return
+	}
+	b.inFlight = true
+	b.mac.Bcast(slot, b.queue[0])
+}
+
+// OnRcv implements core.Layer.
+func (b *BMMB) OnRcv(slot int64, m core.Message) {
+	b.arrive(slot, m)
+}
+
+// OnAck implements core.Layer: the acknowledged message is removed from the
+// queue.
+func (b *BMMB) OnAck(slot int64, m core.Message) {
+	if len(b.queue) > 0 && b.queue[0].ID == m.ID {
+		b.queue = b.queue[1:]
+	}
+	b.inFlight = false
+}
+
+// Delivered returns the messages delivered to the environment at this node,
+// in delivery order.
+func (b *BMMB) Delivered() []Delivery {
+	out := make([]Delivery, len(b.delivered))
+	copy(out, b.delivered)
+	return out
+}
+
+// HasDelivered reports whether the message with the given id has been
+// delivered at this node.
+func (b *BMMB) HasDelivered(id core.MessageID) bool {
+	return b.rcvd[id]
+}
+
+// QueueLen returns the number of messages still queued for broadcast.
+func (b *BMMB) QueueLen() int { return len(b.queue) }
+
+// AllDelivered reports whether every one of the given layers has delivered
+// every one of the given message ids. It is the completion predicate of the
+// global SMB/MMB problems.
+func AllDelivered(layers []*BMMB, ids []core.MessageID) bool {
+	for _, l := range layers {
+		for _, id := range ids {
+			if !l.HasDelivered(id) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CompletionSlot returns the largest delivery slot of the given message ids
+// over all layers, i.e. the slot at which global broadcast completed, and
+// whether all deliveries happened. Initial arrivals (slot 0 at the origins)
+// are included.
+func CompletionSlot(layers []*BMMB, ids []core.MessageID) (int64, bool) {
+	want := make(map[core.MessageID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	var last int64
+	for _, l := range layers {
+		seen := 0
+		for _, d := range l.Delivered() {
+			if want[d.Msg.ID] {
+				seen++
+				if d.Slot > last {
+					last = d.Slot
+				}
+			}
+		}
+		if seen < len(ids) {
+			return 0, false
+		}
+	}
+	return last, true
+}
+
+// Relay is the minimal forwarding layer used for the Daum et al. [14]-style
+// direct single-message broadcast baseline: a node that receives the target
+// message for the first time immediately starts broadcasting it itself and
+// never stops (the underlying progress-only MAC does not acknowledge).
+type Relay struct {
+	core.NopLayer
+
+	node int
+	mac  core.MAC
+
+	target    core.MessageID
+	initial   *core.Message
+	started   bool
+	rcvSlot   int64
+	delivered bool
+}
+
+var _ core.Layer = (*Relay)(nil)
+
+// NewRelay returns a relay layer for the given target message id. If
+// initial is non-nil this node is the broadcast source and starts
+// broadcasting immediately.
+func NewRelay(target core.MessageID, initial *core.Message) *Relay {
+	r := &Relay{target: target}
+	if initial != nil {
+		cp := *initial
+		r.initial = &cp
+	}
+	return r
+}
+
+// Attach implements core.Layer.
+func (r *Relay) Attach(node int, mac core.MAC, src *rng.Source) {
+	r.node = node
+	r.mac = mac
+}
+
+// OnSlot implements core.Layer.
+func (r *Relay) OnSlot(slot int64) {
+	if r.started || r.mac == nil {
+		return
+	}
+	if r.initial != nil {
+		r.mac.Bcast(slot, *r.initial)
+		r.started = true
+		r.delivered = true
+		return
+	}
+	if r.delivered {
+		r.mac.Bcast(slot, core.Message{ID: r.target, Origin: r.node, Payload: nil})
+		r.started = true
+	}
+}
+
+// OnRcv implements core.Layer.
+func (r *Relay) OnRcv(slot int64, m core.Message) {
+	if m.ID != r.target || r.delivered {
+		return
+	}
+	r.delivered = true
+	r.rcvSlot = slot
+}
+
+// Delivered reports whether this node has the target message and the slot
+// at which it first arrived (0 for the source).
+func (r *Relay) Delivered() (bool, int64) {
+	return r.delivered, r.rcvSlot
+}
+
+// RelayCompletionSlot returns the largest first-arrival slot over all relay
+// layers and whether every node has the message.
+func RelayCompletionSlot(layers []*Relay) (int64, bool) {
+	var last int64
+	for _, l := range layers {
+		ok, slot := l.Delivered()
+		if !ok {
+			return 0, false
+		}
+		if slot > last {
+			last = slot
+		}
+	}
+	return last, true
+}
+
+// MessageIDs returns the ids of the given messages, sorted, for use with
+// AllDelivered and CompletionSlot.
+func MessageIDs(msgs []core.Message) []core.MessageID {
+	out := make([]core.MessageID, len(msgs))
+	for i, m := range msgs {
+		out[i] = m.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

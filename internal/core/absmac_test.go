@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventKindString(t *testing.T) {
+	tests := []struct {
+		kind EventKind
+		want string
+	}{
+		{EventBcast, "bcast"},
+		{EventRcv, "rcv"},
+		{EventAck, "ack"},
+		{EventAbort, "abort"},
+		{EventKind(99), "EventKind(99)"},
+	}
+	for _, tc := range tests {
+		if got := tc.kind.String(); got != tc.want {
+			t.Fatalf("String(%d) = %q, want %q", int(tc.kind), got, tc.want)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{EpsAck: 0, EpsProg: 0.1, EpsApprog: 0.1},
+		{EpsAck: 0.1, EpsProg: 1, EpsApprog: 0.1},
+		{EpsAck: 0.1, EpsProg: 0.1, EpsApprog: -0.3},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad params %d validated", i)
+		}
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0},
+		{2, 1},
+		{4, 2},
+		{16, 3},
+		{65536, 4},
+		{1e30, 5},
+	}
+	for _, tc := range tests {
+		if got := LogStar(tc.x); got != tc.want {
+			t.Fatalf("LogStar(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestTheoreticalFackScaling(t *testing.T) {
+	// f_ack must grow linearly in Δ for fixed Λ and ε.
+	base := TheoreticalFack(10, 64, 0.1)
+	doubled := TheoreticalFack(20, 64, 0.1)
+	if doubled <= base {
+		t.Fatal("f_ack bound not increasing in degree")
+	}
+	ratio := (doubled - TheoreticalFack(0, 64, 0.1)) / (base - TheoreticalFack(0, 64, 0.1))
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("degree term not linear: ratio = %v", ratio)
+	}
+	// Smaller ε makes the bound larger.
+	if TheoreticalFack(10, 64, 0.01) <= TheoreticalFack(10, 64, 0.1) {
+		t.Fatal("f_ack bound not decreasing in ε")
+	}
+}
+
+func TestTheoreticalFapprogIndependentOfDegree(t *testing.T) {
+	// The approximate-progress bound depends only on Λ, α and ε: it must be
+	// polylogarithmic, i.e. far below the f_ack bound for large degree.
+	lambda := 64.0
+	fapprog := TheoreticalFapprog(lambda, 3, 0.1)
+	fackDense := TheoreticalFack(1000, lambda, 0.1)
+	if fapprog >= fackDense {
+		t.Fatalf("f_approg bound %v not below dense f_ack bound %v", fapprog, fackDense)
+	}
+	// Monotone in Λ.
+	if TheoreticalFapprog(128, 3, 0.1) <= TheoreticalFapprog(8, 3, 0.1) {
+		t.Fatal("f_approg bound not increasing in Λ")
+	}
+	// Monotone in 1/ε.
+	if TheoreticalFapprog(64, 3, 0.01) <= TheoreticalFapprog(64, 3, 0.2) {
+		t.Fatal("f_approg bound not increasing in 1/ε")
+	}
+}
+
+func TestTheoreticalFprogLowerBound(t *testing.T) {
+	if got := TheoreticalFprogLowerBound(17); got != 17 {
+		t.Fatalf("lower bound = %v, want 17", got)
+	}
+}
+
+func TestTheoreticalGlobalBoundsMonotone(t *testing.T) {
+	if TheoreticalSMB(20, 100, 32, 3, 0.1) <= TheoreticalSMB(10, 100, 32, 3, 0.1) {
+		t.Fatal("SMB bound not increasing in diameter")
+	}
+	if TheoreticalMMB(10, 8, 100, 8, 32, 3, 0.1) <= TheoreticalMMB(10, 8, 100, 2, 32, 3, 0.1) {
+		t.Fatal("MMB bound not increasing in k")
+	}
+	if TheoreticalCons(10, 16, 100, 32, 0.1) <= TheoreticalCons(10, 4, 100, 32, 0.1) {
+		t.Fatal("CONS bound not increasing in degree")
+	}
+	if TheoreticalCons(20, 8, 100, 32, 0.1) <= TheoreticalCons(5, 8, 100, 32, 0.1) {
+		t.Fatal("CONS bound not increasing in diameter")
+	}
+}
+
+// Property: all theoretical bounds are positive and finite over sensible
+// parameter ranges.
+func TestQuickBoundsFinite(t *testing.T) {
+	f := func(degRaw, diamRaw uint8, lambdaRaw, epsRaw uint16) bool {
+		deg := int(degRaw%200) + 1
+		diam := int(diamRaw%50) + 1
+		lambda := 2 + float64(lambdaRaw%1000)
+		eps := 0.001 + float64(epsRaw%998)/1000
+		vals := []float64{
+			TheoreticalFack(deg, lambda, eps),
+			TheoreticalFapprog(lambda, 3, eps),
+			TheoreticalSMB(diam, 100, lambda, 3, eps),
+			TheoreticalMMB(diam, deg, 100, 4, lambda, 3, eps),
+			TheoreticalCons(diam, deg, 100, lambda, eps),
+		}
+		for _, v := range vals {
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogStarQuickSmall(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := LogStar(math.Abs(x))
+		return v >= 0 && v <= 6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"sort"
+
+	"sinrmac/internal/graphs"
+)
+
+// AckRecord describes the fate of one bcast in a trace.
+type AckRecord struct {
+	// Msg is the broadcast message.
+	Msg Message
+	// BcastSlot is the slot of the bcast event.
+	BcastSlot int64
+	// AckSlot is the slot of the ack event, or -1 when no ack was recorded.
+	AckSlot int64
+	// Aborted reports whether an abort event was recorded for the message.
+	Aborted bool
+	// Latency is AckSlot - BcastSlot for acknowledged broadcasts, 0
+	// otherwise.
+	Latency int64
+	// MissedNeighbors lists the G-neighbours of the origin that had no rcv
+	// event for the message before the ack (only populated for
+	// acknowledged broadcasts). An acknowledged broadcast with missed
+	// neighbours violates the "nice execution" property of Definition 12.2
+	// and counts towards AckReport.Violations.
+	MissedNeighbors []int
+}
+
+// AckReport summarises acknowledgment behaviour over a whole trace.
+type AckReport struct {
+	// Records holds one entry per bcast event, in bcast order.
+	Records []AckRecord
+	// Acked counts acknowledged broadcasts.
+	Acked int
+	// Unacked counts broadcasts that were neither acknowledged nor aborted.
+	Unacked int
+	// Aborted counts aborted broadcasts.
+	Aborted int
+	// Violations counts acknowledged broadcasts for which some G-neighbour
+	// never received the message before the ack.
+	Violations int
+	// MaxLatency and MeanLatency summarise acknowledgment latencies over
+	// the acknowledged broadcasts (0 when none).
+	MaxLatency  int64
+	MeanLatency float64
+}
+
+// CheckAcks verifies the acknowledgment part of the absMAC specification
+// against a trace: every acknowledged broadcast should have delivered a rcv
+// to every G-neighbour of its origin before the ack fired, and it measures
+// the empirical acknowledgment latency f_ack.
+func CheckAcks(events []Event, g *graphs.Graph) AckReport {
+	type msgState struct {
+		rec      AckRecord
+		rcvSlots map[int]int64 // receiver -> first rcv slot
+	}
+	states := make(map[MessageID]*msgState)
+	var order []MessageID
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventBcast:
+			if _, ok := states[ev.Msg.ID]; !ok {
+				states[ev.Msg.ID] = &msgState{
+					rec:      AckRecord{Msg: ev.Msg, BcastSlot: ev.Slot, AckSlot: -1},
+					rcvSlots: make(map[int]int64),
+				}
+				order = append(order, ev.Msg.ID)
+			}
+		case EventRcv:
+			if st, ok := states[ev.Msg.ID]; ok {
+				if _, seen := st.rcvSlots[ev.Node]; !seen {
+					st.rcvSlots[ev.Node] = ev.Slot
+				}
+			}
+		case EventAck:
+			if st, ok := states[ev.Msg.ID]; ok && st.rec.AckSlot < 0 {
+				st.rec.AckSlot = ev.Slot
+				st.rec.Latency = ev.Slot - st.rec.BcastSlot
+			}
+		case EventAbort:
+			if st, ok := states[ev.Msg.ID]; ok {
+				st.rec.Aborted = true
+			}
+		}
+	}
+
+	var report AckReport
+	var latencySum int64
+	for _, id := range order {
+		st := states[id]
+		rec := st.rec
+		switch {
+		case rec.AckSlot >= 0:
+			report.Acked++
+			latencySum += rec.Latency
+			if rec.Latency > report.MaxLatency {
+				report.MaxLatency = rec.Latency
+			}
+			for _, nbr := range g.Neighbors(rec.Msg.Origin) {
+				slot, got := st.rcvSlots[nbr]
+				if !got || slot > rec.AckSlot {
+					rec.MissedNeighbors = append(rec.MissedNeighbors, nbr)
+				}
+			}
+			if len(rec.MissedNeighbors) > 0 {
+				report.Violations++
+			}
+		case rec.Aborted:
+			report.Aborted++
+		default:
+			report.Unacked++
+		}
+		report.Records = append(report.Records, rec)
+	}
+	if report.Acked > 0 {
+		report.MeanLatency = float64(latencySum) / float64(report.Acked)
+	}
+	return report
+}
+
+// ProgressSample measures one (receiver, triggering broadcast) pair: the
+// time from the start of a neighbour's broadcast until the receiver
+// received *some* message originating at one of its G-neighbours.
+type ProgressSample struct {
+	// Receiver is the listening node j.
+	Receiver int
+	// Trigger is the broadcasting neighbour i (in the trigger graph).
+	Trigger int
+	// TriggerMsg is the message i was broadcasting.
+	TriggerMsg MessageID
+	// StartSlot is the slot of the triggering bcast event.
+	StartSlot int64
+	// EndSlot is the end of the observation window: the trigger's ack or
+	// abort slot, or the horizon when the broadcast never completed.
+	EndSlot int64
+	// RcvSlot is the slot of the first qualifying rcv at the receiver at or
+	// after StartSlot, or -1 when none occurred within the window.
+	RcvSlot int64
+	// Latency is RcvSlot-StartSlot when satisfied, EndSlot-StartSlot
+	// otherwise (a censored measurement).
+	Latency int64
+	// Satisfied reports whether a qualifying rcv occurred within the window.
+	Satisfied bool
+}
+
+// ProgressReport summarises progress measurements over a trace.
+type ProgressReport struct {
+	// Samples holds one entry per (receiver, triggering broadcast) pair.
+	Samples []ProgressSample
+	// Satisfied and Unsatisfied count samples with and without a
+	// qualifying reception inside the observation window.
+	Satisfied   int
+	Unsatisfied int
+	// MaxLatency and MeanLatency summarise latencies over all samples
+	// (censored samples contribute their window length).
+	MaxLatency  int64
+	MeanLatency float64
+}
+
+// SatisfactionRate returns the fraction of samples whose window contained a
+// qualifying reception (1 when there are no samples).
+func (r ProgressReport) SatisfactionRate() float64 {
+	total := r.Satisfied + r.Unsatisfied
+	if total == 0 {
+		return 1
+	}
+	return float64(r.Satisfied) / float64(total)
+}
+
+// MeasureProgress measures the (approximate) progress latency of a trace.
+//
+// g is the reliable-communication graph G := G_{1-ε}: a reception counts
+// only if the received message originates at a G-neighbour of the receiver
+// (the paper's rcv semantics). trigger selects which broadcasting
+// neighbours open an observation window at a receiver: passing G measures
+// the classic progress bound f_prog, passing G̃ := G_{1-2ε} measures the
+// approximate-progress bound f_approg of Definition 7.1. horizon caps the
+// observation window of broadcasts that never completed.
+func MeasureProgress(events []Event, g, trigger *graphs.Graph, horizon int64) ProgressReport {
+	// Index per-message lifecycle and per-receiver qualifying receptions.
+	type life struct {
+		origin int
+		start  int64
+		end    int64
+	}
+	lives := make(map[MessageID]*life)
+	var msgOrder []MessageID
+	rcvByNode := make(map[int][]Event)
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventBcast:
+			if _, ok := lives[ev.Msg.ID]; !ok {
+				lives[ev.Msg.ID] = &life{origin: ev.Msg.Origin, start: ev.Slot, end: horizon}
+				msgOrder = append(msgOrder, ev.Msg.ID)
+			}
+		case EventAck, EventAbort:
+			if l, ok := lives[ev.Msg.ID]; ok && l.end == horizon {
+				l.end = ev.Slot
+			}
+		case EventRcv:
+			rcvByNode[ev.Node] = append(rcvByNode[ev.Node], ev)
+		}
+	}
+	for _, evs := range rcvByNode {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Slot < evs[j].Slot })
+	}
+
+	var report ProgressReport
+	var latencySum int64
+	for _, id := range msgOrder {
+		l := lives[id]
+		for _, j := range trigger.Neighbors(l.origin) {
+			sample := ProgressSample{
+				Receiver:   j,
+				Trigger:    l.origin,
+				TriggerMsg: id,
+				StartSlot:  l.start,
+				EndSlot:    l.end,
+				RcvSlot:    -1,
+			}
+			for _, rcv := range rcvByNode[j] {
+				if rcv.Slot < l.start {
+					continue
+				}
+				if rcv.Slot > l.end {
+					break
+				}
+				// Qualifying receptions originate at a G-neighbour of j.
+				if g.HasEdge(j, rcv.Msg.Origin) {
+					sample.RcvSlot = rcv.Slot
+					break
+				}
+			}
+			if sample.RcvSlot >= 0 {
+				sample.Satisfied = true
+				sample.Latency = sample.RcvSlot - sample.StartSlot
+				report.Satisfied++
+			} else {
+				sample.Latency = sample.EndSlot - sample.StartSlot
+				report.Unsatisfied++
+			}
+			if sample.Latency > report.MaxLatency {
+				report.MaxLatency = sample.Latency
+			}
+			latencySum += sample.Latency
+			report.Samples = append(report.Samples, sample)
+		}
+	}
+	if len(report.Samples) > 0 {
+		report.MeanLatency = float64(latencySum) / float64(len(report.Samples))
+	}
+	return report
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"sinrmac/internal/graphs"
+)
+
+// pathGraph returns the path 0-1-2-...-(n-1).
+func pathGraph(n int) *graphs.Graph {
+	g := graphs.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func msg(id MessageID, origin int) Message {
+	return Message{ID: id, Origin: origin, Payload: nil}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Record(Event{Kind: EventRcv, Node: 1, Msg: msg(1, 0), Slot: 5})
+	r.Record(Event{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 2})
+	evs := r.Events()
+	if len(evs) != 2 || r.Len() != 2 {
+		t.Fatalf("Len/Events mismatch: %d/%d", r.Len(), len(evs))
+	}
+	if evs[0].Slot != 2 || evs[1].Slot != 5 {
+		t.Fatalf("events not sorted by slot: %+v", evs)
+	}
+	if got := r.EventsOfKind(EventBcast); len(got) != 1 || got[0].Kind != EventBcast {
+		t.Fatalf("EventsOfKind = %+v", got)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestRecorderEventsIsCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 1})
+	evs := r.Events()
+	evs[0].Slot = 99
+	if r.Events()[0].Slot != 1 {
+		t.Fatal("Events exposed internal storage")
+	}
+}
+
+func TestRecorderConcurrentRecord(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Record(Event{Kind: EventRcv, Node: g, Msg: msg(MessageID(i), g), Slot: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != goroutines*perG {
+		t.Fatalf("lost events: %d", r.Len())
+	}
+}
+
+func TestCheckAcksHappyPath(t *testing.T) {
+	g := pathGraph(3) // neighbours of 1 are 0 and 2
+	events := []Event{
+		{Kind: EventBcast, Node: 1, Msg: msg(1, 1), Slot: 0},
+		{Kind: EventRcv, Node: 0, Msg: msg(1, 1), Slot: 3},
+		{Kind: EventRcv, Node: 2, Msg: msg(1, 1), Slot: 4},
+		{Kind: EventAck, Node: 1, Msg: msg(1, 1), Slot: 6},
+	}
+	rep := CheckAcks(events, g)
+	if rep.Acked != 1 || rep.Unacked != 0 || rep.Aborted != 0 || rep.Violations != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.MaxLatency != 6 || rep.MeanLatency != 6 {
+		t.Fatalf("latency = %d/%v", rep.MaxLatency, rep.MeanLatency)
+	}
+	if len(rep.Records) != 1 || len(rep.Records[0].MissedNeighbors) != 0 {
+		t.Fatalf("records = %+v", rep.Records)
+	}
+}
+
+func TestCheckAcksDetectsMissedNeighbor(t *testing.T) {
+	g := pathGraph(3)
+	events := []Event{
+		{Kind: EventBcast, Node: 1, Msg: msg(1, 1), Slot: 0},
+		{Kind: EventRcv, Node: 0, Msg: msg(1, 1), Slot: 3},
+		// node 2 never receives, but the ack fires anyway.
+		{Kind: EventAck, Node: 1, Msg: msg(1, 1), Slot: 6},
+	}
+	rep := CheckAcks(events, g)
+	if rep.Violations != 1 {
+		t.Fatalf("violations = %d, want 1", rep.Violations)
+	}
+	if got := rep.Records[0].MissedNeighbors; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("missed neighbours = %v", got)
+	}
+}
+
+func TestCheckAcksLateRcvCountsAsMissed(t *testing.T) {
+	g := pathGraph(2)
+	events := []Event{
+		{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 0},
+		{Kind: EventAck, Node: 0, Msg: msg(1, 0), Slot: 5},
+		{Kind: EventRcv, Node: 1, Msg: msg(1, 0), Slot: 9}, // after the ack
+	}
+	rep := CheckAcks(events, g)
+	if rep.Violations != 1 {
+		t.Fatalf("late rcv not flagged: %+v", rep)
+	}
+}
+
+func TestCheckAcksUnackedAndAborted(t *testing.T) {
+	g := pathGraph(4)
+	events := []Event{
+		{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 0},
+		{Kind: EventBcast, Node: 2, Msg: msg(2, 2), Slot: 0},
+		{Kind: EventAbort, Node: 2, Msg: msg(2, 2), Slot: 7},
+	}
+	rep := CheckAcks(events, g)
+	if rep.Unacked != 1 || rep.Aborted != 1 || rep.Acked != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestCheckAcksMultipleMessagesMeanLatency(t *testing.T) {
+	g := pathGraph(2)
+	events := []Event{
+		{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 0},
+		{Kind: EventRcv, Node: 1, Msg: msg(1, 0), Slot: 1},
+		{Kind: EventAck, Node: 0, Msg: msg(1, 0), Slot: 2},
+		{Kind: EventBcast, Node: 1, Msg: msg(2, 1), Slot: 10},
+		{Kind: EventRcv, Node: 0, Msg: msg(2, 1), Slot: 14},
+		{Kind: EventAck, Node: 1, Msg: msg(2, 1), Slot: 16},
+	}
+	rep := CheckAcks(events, g)
+	if rep.Acked != 2 || rep.Violations != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.MaxLatency != 6 || rep.MeanLatency != 4 {
+		t.Fatalf("latencies = %d/%v", rep.MaxLatency, rep.MeanLatency)
+	}
+}
+
+func TestMeasureProgressSatisfied(t *testing.T) {
+	g := pathGraph(3)
+	events := []Event{
+		{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 0},
+		{Kind: EventRcv, Node: 1, Msg: msg(1, 0), Slot: 4},
+		{Kind: EventAck, Node: 0, Msg: msg(1, 0), Slot: 10},
+	}
+	rep := MeasureProgress(events, g, g, 100)
+	// Node 1 is the only trigger-graph neighbour of node 0.
+	if len(rep.Samples) != 1 {
+		t.Fatalf("samples = %+v", rep.Samples)
+	}
+	s := rep.Samples[0]
+	if !s.Satisfied || s.Receiver != 1 || s.Latency != 4 || s.RcvSlot != 4 {
+		t.Fatalf("sample = %+v", s)
+	}
+	if rep.SatisfactionRate() != 1 {
+		t.Fatalf("satisfaction rate = %v", rep.SatisfactionRate())
+	}
+}
+
+func TestMeasureProgressAnyNeighborMessageCounts(t *testing.T) {
+	// Node 1 has neighbours 0 and 2. Node 0 broadcasts m1 but node 1 only
+	// ever receives m2 from node 2: progress is still satisfied because the
+	// paper's progress property accepts any message from a G-neighbour.
+	g := pathGraph(3)
+	events := []Event{
+		{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 0},
+		{Kind: EventBcast, Node: 2, Msg: msg(2, 2), Slot: 0},
+		{Kind: EventRcv, Node: 1, Msg: msg(2, 2), Slot: 3},
+		{Kind: EventAck, Node: 0, Msg: msg(1, 0), Slot: 20},
+		{Kind: EventAck, Node: 2, Msg: msg(2, 2), Slot: 20},
+	}
+	rep := MeasureProgress(events, g, g, 100)
+	for _, s := range rep.Samples {
+		if s.Receiver == 1 && !s.Satisfied {
+			t.Fatalf("progress at node 1 not satisfied by neighbour message: %+v", s)
+		}
+	}
+}
+
+func TestMeasureProgressNonNeighborMessageIgnored(t *testing.T) {
+	// The reliable graph g has no edge (1,3): a rcv of node 3's message at
+	// node 1 must not count as progress.
+	g := graphs.New(4)
+	g.AddEdge(0, 1)
+	trigger := g.Clone()
+	events := []Event{
+		{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 0},
+		{Kind: EventRcv, Node: 1, Msg: msg(7, 3), Slot: 2}, // from non-neighbour 3
+		{Kind: EventAck, Node: 0, Msg: msg(1, 0), Slot: 9},
+	}
+	rep := MeasureProgress(events, g, trigger, 100)
+	if len(rep.Samples) != 1 {
+		t.Fatalf("samples = %+v", rep.Samples)
+	}
+	s := rep.Samples[0]
+	if s.Satisfied {
+		t.Fatalf("non-neighbour reception counted as progress: %+v", s)
+	}
+	if s.Latency != 9 { // censored at the ack slot
+		t.Fatalf("censored latency = %d, want 9", s.Latency)
+	}
+	if rep.SatisfactionRate() != 0 {
+		t.Fatalf("satisfaction rate = %v", rep.SatisfactionRate())
+	}
+}
+
+func TestMeasureProgressDifferentTriggerGraph(t *testing.T) {
+	// g is a path 0-1-2; trigger graph only contains the edge 0-1. Only the
+	// (0 broadcasts, 1 listens) pair opens a window.
+	g := pathGraph(3)
+	trigger := graphs.New(3)
+	trigger.AddEdge(0, 1)
+	events := []Event{
+		{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 0},
+		{Kind: EventBcast, Node: 2, Msg: msg(2, 2), Slot: 0},
+		{Kind: EventRcv, Node: 1, Msg: msg(1, 0), Slot: 5},
+		{Kind: EventAck, Node: 0, Msg: msg(1, 0), Slot: 8},
+		{Kind: EventAck, Node: 2, Msg: msg(2, 2), Slot: 8},
+	}
+	rep := MeasureProgress(events, g, trigger, 100)
+	// Triggers: msg1 opens a window at node 1; msg2 opens none (node 2 has
+	// no trigger-graph neighbours).
+	if len(rep.Samples) != 1 {
+		t.Fatalf("samples = %+v", rep.Samples)
+	}
+	if rep.Samples[0].Receiver != 1 || !rep.Samples[0].Satisfied {
+		t.Fatalf("sample = %+v", rep.Samples[0])
+	}
+}
+
+func TestMeasureProgressHorizonCensoring(t *testing.T) {
+	g := pathGraph(2)
+	events := []Event{
+		{Kind: EventBcast, Node: 0, Msg: msg(1, 0), Slot: 10},
+		// no rcv, no ack
+	}
+	rep := MeasureProgress(events, g, g, 50)
+	if len(rep.Samples) != 1 {
+		t.Fatalf("samples = %+v", rep.Samples)
+	}
+	s := rep.Samples[0]
+	if s.Satisfied || s.EndSlot != 50 || s.Latency != 40 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestMeasureProgressEmptyTrace(t *testing.T) {
+	g := pathGraph(3)
+	rep := MeasureProgress(nil, g, g, 100)
+	if len(rep.Samples) != 0 || rep.SatisfactionRate() != 1 {
+		t.Fatalf("empty trace report = %+v", rep)
+	}
+	ackRep := CheckAcks(nil, g)
+	if len(ackRep.Records) != 0 || ackRep.MeanLatency != 0 {
+		t.Fatalf("empty trace ack report = %+v", ackRep)
+	}
+}

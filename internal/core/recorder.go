@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// Recorder collects absMAC interface events emitted by MAC implementations
+// during a simulation. It is safe for concurrent use so that the parallel
+// simulation driver can record from multiple node goroutines.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Record appends one event to the trace.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the trace sorted by slot (stable within a slot:
+// insertion order). The copy can be analysed while the simulation
+// continues.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+}
+
+// EventsOfKind returns the recorded events of the given kind, sorted by
+// slot.
+func (r *Recorder) EventsOfKind(kind EventKind) []Event {
+	all := r.Events()
+	var out []Event
+	for _, ev := range all {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

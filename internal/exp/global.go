@@ -1,0 +1,357 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"sinrmac/internal/approgress"
+	"sinrmac/internal/bcastproto"
+	"sinrmac/internal/consensus"
+	"sinrmac/internal/core"
+	"sinrmac/internal/decay"
+	"sinrmac/internal/hmbcast"
+	"sinrmac/internal/mac"
+	"sinrmac/internal/rng"
+	"sinrmac/internal/sim"
+	"sinrmac/internal/sinr"
+	"sinrmac/internal/stats"
+	"sinrmac/internal/topology"
+)
+
+// globalRange is the transmission range used by the global broadcast and
+// consensus experiments.
+const globalRange = 12
+
+// buildUniform builds a connected uniform deployment of n nodes with
+// roughly constant density, so the diameter grows with sqrt(n).
+func buildUniform(n int, seed uint64) (*topology.Deployment, error) {
+	side := 2.2 * math.Sqrt(float64(n)) * 2
+	return topology.ConnectedUniform(n, side, sinr.DefaultParams(globalRange), rng.New(seed), 100)
+}
+
+// combinedMACConfig returns the Algorithm 11.1 configuration used by the
+// global experiments (documented in EXPERIMENTS.md).
+func combinedMACConfig(lambda float64) mac.Config {
+	cfg := mac.DefaultConfig(lambda, 3, core.DefaultParams())
+	cfg.Ack.StepFactor = 1
+	cfg.Ack.HaltFactor = 4
+	cfg.Prog.QScale = 0.25
+	cfg.Prog.TFactor = 3
+	cfg.Prog.MISRounds = 3
+	cfg.Prog.DataFactor = 2
+	return cfg
+}
+
+// runBMMBOverMACs wires one BMMB layer per node over the MAC nodes produced
+// by newMAC, starts the given messages at their origins and returns the
+// global completion slot (or the deadline if incomplete).
+func runBMMBOverMACs(d *topology.Deployment, msgs []core.Message, seed uint64, deadline int64,
+	newMAC func(i int) sim.Node, attach func(n sim.Node, l core.Layer)) (float64, bool, error) {
+
+	layers := make([]*bcastproto.BMMB, d.NumNodes())
+	nodes := make([]sim.Node, d.NumNodes())
+	for i := range nodes {
+		var initial []core.Message
+		for _, m := range msgs {
+			if m.Origin == i {
+				initial = append(initial, m)
+			}
+		}
+		layers[i] = bcastproto.NewBMMB(initial...)
+		n := newMAC(i)
+		attach(n, layers[i])
+		nodes[i] = n
+	}
+	ch, err := d.Channel()
+	if err != nil {
+		return 0, false, err
+	}
+	eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+	if err != nil {
+		return 0, false, err
+	}
+	ids := bcastproto.MessageIDs(msgs)
+	eng.Run(deadline, func() bool { return bcastproto.AllDelivered(layers, ids) })
+	slot, ok := bcastproto.CompletionSlot(layers, ids)
+	if !ok {
+		return float64(deadline), false, nil
+	}
+	return float64(slot), true, nil
+}
+
+// runDirectSMB runs the Daum et al. [14]-style direct broadcast: relay
+// layers over progress-only nodes with w.h.p. parameters (ε = 1/n).
+func runDirectSMB(d *topology.Deployment, msg core.Message, seed uint64, deadline int64) (float64, bool, error) {
+	apCfg := approgress.DefaultConfig(d.Lambda(), 1/float64(d.NumNodes()), 3)
+	apCfg.QScale = 0.25
+	apCfg.TFactor = 3
+	apCfg.MISRounds = 3
+	apCfg.DataFactor = 2
+
+	layers := make([]*bcastproto.Relay, d.NumNodes())
+	nodes := make([]sim.Node, d.NumNodes())
+	for i := range nodes {
+		var initial *core.Message
+		if msg.Origin == i {
+			cp := msg
+			initial = &cp
+		}
+		layers[i] = bcastproto.NewRelay(msg.ID, initial)
+		n := approgress.NewNode(apCfg, 0, nil)
+		n.SetLayer(layers[i])
+		nodes[i] = n
+	}
+	ch, err := d.Channel()
+	if err != nil {
+		return 0, false, err
+	}
+	eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+	if err != nil {
+		return 0, false, err
+	}
+	eng.Run(deadline, func() bool {
+		_, done := bcastproto.RelayCompletionSlot(layers)
+		return done
+	})
+	slot, ok := bcastproto.RelayCompletionSlot(layers)
+	if !ok {
+		return float64(deadline), false, nil
+	}
+	return float64(slot), true, nil
+}
+
+// SMBComparison is experiment E5-smb: global single-message broadcast with
+// the MAC-based BSMB protocol (this paper), the direct [14]-style
+// broadcast, and Decay flooding (Table 1 SMB row and Table 2).
+func SMBComparison(cfg Config) (Table, error) {
+	table := Table{
+		ID:    "E5-smb",
+		Title: "Table 2 / Theorem 12.7: global single-message broadcast comparison",
+		Columns: []string{
+			"n", "diam", "delta", "lambda", "this_paper", "daum_direct", "decay_flood", "theory_smb",
+		},
+	}
+	sizes := []int{30, 60, 120}
+	if cfg.Quick {
+		sizes = []int{20, 35}
+	}
+	trials := cfg.trials(2)
+
+	var diams, ours []float64
+	for _, n := range sizes {
+		var oursLat, daumLat, decayLat []float64
+		var diam, delta int
+		var lambda float64
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + uint64(n*131+trial)
+			d, err := buildUniform(n, seed)
+			if err != nil {
+				return table, err
+			}
+			strong := d.StrongGraph()
+			diam = strong.Diameter()
+			delta = strong.MaxDegree()
+			lambda = d.Lambda()
+			msg := core.Message{ID: 1, Origin: 0, Payload: "smb"}
+
+			macCfg := combinedMACConfig(lambda)
+			rec := core.NewRecorder()
+			deadline := int64(core.TheoreticalFack(delta, lambda, 0.1)) * int64(diam+5) * 50
+			t1, _, err := runBMMBOverMACs(d, []core.Message{msg}, seed, deadline,
+				func(i int) sim.Node { return mac.New(macCfg, rec) },
+				func(node sim.Node, l core.Layer) { node.(*mac.Node).SetLayer(l) })
+			if err != nil {
+				return table, err
+			}
+			oursLat = append(oursLat, t1)
+
+			t2, _, err := runDirectSMB(d, msg, seed, deadline)
+			if err != nil {
+				return table, err
+			}
+			daumLat = append(daumLat, t2)
+
+			dcCfg := decay.DefaultConfig(float64(n), 0.1)
+			t3, _, err := runBMMBOverMACs(d, []core.Message{msg}, seed, deadline,
+				func(i int) sim.Node { return decay.New(dcCfg, nil) },
+				func(node sim.Node, l core.Layer) { node.(interface{ SetLayer(core.Layer) }).SetLayer(l) })
+			if err != nil {
+				return table, err
+			}
+			decayLat = append(decayLat, t3)
+		}
+		theory := core.TheoreticalSMB(diam, n, lambda, 3, 0.1)
+		table.AddRow(n, diam, delta, lambda,
+			stats.Median(oursLat), stats.Median(daumLat), stats.Median(decayLat), theory)
+		diams = append(diams, float64(diam))
+		ours = append(ours, stats.Median(oursLat))
+	}
+	if len(diams) >= 2 {
+		if fit, err := stats.LinearFit(diams, ours); err == nil {
+			table.AddNote("this_paper SMB time ≈ %.0f·D + %.0f (R²=%.2f): linear in the diameter as Theorem 12.7 predicts", fit.Slope, fit.Intercept, fit.R2)
+		}
+	}
+	return table, nil
+}
+
+// MMBScaling is experiment E6-mmb: global multi-message broadcast cost as a
+// function of the number of messages k (Table 1 MMB row).
+func MMBScaling(cfg Config) (Table, error) {
+	table := Table{
+		ID:    "E6-mmb",
+		Title: "Theorem 12.7: global multi-message broadcast vs number of messages k",
+		Columns: []string{
+			"k", "n", "diam", "this_paper", "decay_flood", "theory_mmb",
+		},
+	}
+	ks := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		ks = []int{1, 2}
+	}
+	n := 40
+	if cfg.Quick {
+		n = 24
+	}
+	trials := cfg.trials(2)
+
+	var xs, ys []float64
+	for _, k := range ks {
+		var oursLat, decayLat []float64
+		var diam int
+		var lambda float64
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + uint64(k*709+trial)
+			d, err := buildUniform(n, seed)
+			if err != nil {
+				return table, err
+			}
+			diam = d.StrongGraph().Diameter()
+			lambda = d.Lambda()
+			src := rng.New(seed ^ 0xabcdef)
+			msgs := make([]core.Message, k)
+			for i := range msgs {
+				msgs[i] = core.Message{ID: core.MessageID(100 + i), Origin: src.Intn(n), Payload: i}
+			}
+
+			macCfg := combinedMACConfig(lambda)
+			delta := d.StrongGraph().MaxDegree()
+			deadline := int64(core.TheoreticalFack(delta, lambda, 0.1)) * int64(diam+5+3*k) * 50
+			t1, _, err := runBMMBOverMACs(d, msgs, seed, deadline,
+				func(i int) sim.Node { return mac.New(macCfg, nil) },
+				func(node sim.Node, l core.Layer) { node.(*mac.Node).SetLayer(l) })
+			if err != nil {
+				return table, err
+			}
+			oursLat = append(oursLat, t1)
+
+			dcCfg := decay.DefaultConfig(float64(n), 0.1)
+			t2, _, err := runBMMBOverMACs(d, msgs, seed, deadline,
+				func(i int) sim.Node { return decay.New(dcCfg, nil) },
+				func(node sim.Node, l core.Layer) { node.(interface{ SetLayer(core.Layer) }).SetLayer(l) })
+			if err != nil {
+				return table, err
+			}
+			decayLat = append(decayLat, t2)
+		}
+		theory := core.TheoreticalMMB(diam, 8, n, k, lambda, 3, 0.1)
+		table.AddRow(k, n, diam, stats.Median(oursLat), stats.Median(decayLat), theory)
+		xs = append(xs, float64(k))
+		ys = append(ys, stats.Median(oursLat))
+	}
+	if len(xs) >= 2 {
+		if fit, err := stats.LinearFit(xs, ys); err == nil {
+			table.AddNote("this_paper MMB time ≈ %.0f·k + %.0f (R²=%.2f): additive in k rather than multiplicative in D·Δ·k", fit.Slope, fit.Intercept, fit.R2)
+		}
+	}
+	return table, nil
+}
+
+// ConsensusScaling is experiment E7-cons: network-wide consensus completion
+// time as a function of the diameter (Corollary 5.5).
+func ConsensusScaling(cfg Config) (Table, error) {
+	table := Table{
+		ID:    "E7-cons",
+		Title: "Corollary 5.5: consensus completion time vs diameter",
+		Columns: []string{
+			"n", "diam", "delta", "decision_slot", "theory_cons", "agreement",
+		},
+	}
+	sizes := []int{8, 16, 32}
+	if cfg.Quick {
+		sizes = []int{6, 10}
+	}
+	trials := cfg.trials(2)
+	const epsAck = 0.05
+
+	var diams, times []float64
+	for _, n := range sizes {
+		var lat []float64
+		var diam, delta int
+		var lambda float64
+		agreementOK := true
+		for trial := 0; trial < trials; trial++ {
+			seed := cfg.Seed + uint64(n*389+trial)
+			d, err := topology.Line(n, 4, sinr.DefaultParams(globalRange))
+			if err != nil {
+				return table, err
+			}
+			strong := d.StrongGraph()
+			diam = strong.Diameter()
+			delta = strong.MaxDegree()
+			lambda = d.Lambda()
+
+			macCfg := hmbcast.DefaultConfig(lambda, epsAck)
+			macCfg.StepFactor = 1
+			macCfg.HaltFactor = 4
+
+			initials := make([]consensus.Value, n)
+			src := rng.New(seed)
+			for i := range initials {
+				initials[i] = consensus.Value(uint8(src.Intn(2)))
+			}
+			layers := make([]*consensus.Node, n)
+			nodes := make([]sim.Node, n)
+			for i := range nodes {
+				l, err := consensus.New(consensus.Config{Rounds: diam + 2}, initials[i])
+				if err != nil {
+					return table, err
+				}
+				layers[i] = l
+				node := hmbcast.New(macCfg, nil)
+				node.SetLayer(l)
+				nodes[i] = node
+			}
+			ch, err := d.Channel()
+			if err != nil {
+				return table, err
+			}
+			eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+			if err != nil {
+				return table, err
+			}
+			deadline := int64(core.TheoreticalFack(delta, lambda, epsAck)) * int64(diam+4) * 200
+			eng.Run(deadline, func() bool {
+				_, done := consensus.DecisionSlot(layers)
+				return done
+			})
+			slot, done := consensus.DecisionSlot(layers)
+			if !done {
+				slot = deadline
+			}
+			if err := consensus.CheckAgreement(layers, initials); err != nil {
+				agreementOK = false
+			}
+			lat = append(lat, float64(slot))
+		}
+		theory := core.TheoreticalCons(diam, delta, n, lambda, 0.1)
+		table.AddRow(n, diam, delta, stats.Median(lat), theory, fmt.Sprintf("%v", agreementOK))
+		diams = append(diams, float64(diam))
+		times = append(times, stats.Median(lat))
+	}
+	if len(diams) >= 2 {
+		if fit, err := stats.LinearFit(diams, times); err == nil {
+			table.AddNote("consensus time ≈ %.0f·D + %.0f (R²=%.2f): linear in D·f_ack as Corollary 5.5 predicts", fit.Slope, fit.Intercept, fit.R2)
+		}
+	}
+	return table, nil
+}

@@ -1,0 +1,292 @@
+// Package geom provides the planar geometry primitives the SINR simulator
+// is built on: points, Euclidean distances, bounding boxes and a uniform
+// grid index used to answer range queries and to bin nodes into annuli for
+// interference accounting.
+//
+// The paper (Section 4.2) places nodes in the Euclidean plane and assumes a
+// minimum pairwise distance of 1 (the near-field normalisation); helpers in
+// this package enforce and verify that normalisation.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a location in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Hypot(dx, dy)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It avoids
+// the square root when only comparisons are needed.
+func (p Point) DistSq(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point {
+	return Point{X: p.X + q.X, Y: p.Y + q.Y}
+}
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point {
+	return Point{X: p.X - q.X, Y: p.Y - q.Y}
+}
+
+// Scale returns p scaled by factor s about the origin.
+func (p Point) Scale(s float64) Point {
+	return Point{X: p.X * s, Y: p.Y * s}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y)
+}
+
+// Rect is an axis-aligned rectangle with Min at the lower-left corner and
+// Max at the upper-right corner.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanned by two arbitrary corner points.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{X: math.Min(a.X, b.X), Y: math.Min(a.Y, b.Y)},
+		Max: Point{X: math.Max(a.X, b.X), Y: math.Max(a.Y, b.Y)},
+	}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside r (boundaries inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Expand returns r grown by margin on every side.
+func (r Rect) Expand(margin float64) Rect {
+	return Rect{
+		Min: Point{X: r.Min.X - margin, Y: r.Min.Y - margin},
+		Max: Point{X: r.Max.X + margin, Y: r.Max.Y + margin},
+	}
+}
+
+// BoundingBox returns the smallest axis-aligned rectangle containing all
+// points. It returns a zero Rect when points is empty.
+func BoundingBox(points []Point) Rect {
+	if len(points) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: points[0], Max: points[0]}
+	for _, p := range points[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// MinPairwiseDist returns the smallest distance between two distinct points.
+// It returns +Inf when fewer than two points are given.
+//
+// The implementation uses a uniform grid to avoid the quadratic scan for
+// large inputs, falling back to brute force for small ones.
+func MinPairwiseDist(points []Point) float64 {
+	n := len(points)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	if n <= 64 {
+		return minPairwiseBrute(points)
+	}
+	// Grid with cell size roughly the expected nearest-neighbour spacing.
+	box := BoundingBox(points)
+	cell := math.Sqrt(box.Area()/float64(n)) + 1e-12
+	if cell <= 0 || math.IsNaN(cell) {
+		return minPairwiseBrute(points)
+	}
+	g := NewGrid(cell)
+	for i, p := range points {
+		g.Insert(i, p)
+	}
+	best := math.Inf(1)
+	for i, p := range points {
+		for _, j := range g.Neighborhood(p, cell) {
+			if j == i {
+				continue
+			}
+			if d := p.Dist(points[j]); d < best {
+				best = d
+			}
+		}
+	}
+	// The grid only inspects adjacent cells; if nothing was found there the
+	// points are sparse relative to the cell size and we must fall back.
+	if math.IsInf(best, 1) {
+		return minPairwiseBrute(points)
+	}
+	return best
+}
+
+func minPairwiseBrute(points []Point) float64 {
+	best := math.Inf(1)
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			if d := points[i].Dist(points[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// MaxPairwiseDist returns the largest distance between two points, or 0
+// when fewer than two points are given.
+func MaxPairwiseDist(points []Point) float64 {
+	best := 0.0
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			if d := points[i].Dist(points[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// NormalizeMinDist rescales the points (about the origin) so that the
+// minimum pairwise distance becomes exactly minDist. It returns the scale
+// factor applied. Points are modified in place. If fewer than two points
+// are supplied, or all points coincide, the slice is returned unchanged
+// with scale 1.
+func NormalizeMinDist(points []Point, minDist float64) float64 {
+	cur := MinPairwiseDist(points)
+	if math.IsInf(cur, 1) || cur == 0 {
+		return 1
+	}
+	scale := minDist / cur
+	for i := range points {
+		points[i] = points[i].Scale(scale)
+	}
+	return scale
+}
+
+// cellKey identifies one cell of a Grid.
+type cellKey struct {
+	cx, cy int
+}
+
+// Grid is a uniform spatial hash over the plane with square cells. It
+// supports insertion of indexed points and range queries, and is used both
+// by topology generation (minimum-distance checks) and by interference
+// accounting (annulus binning).
+type Grid struct {
+	cell  float64
+	cells map[cellKey][]int
+	pts   map[int]Point
+}
+
+// NewGrid returns an empty grid with the given cell side length. It panics
+// if cell is not positive.
+func NewGrid(cell float64) *Grid {
+	if cell <= 0 || math.IsNaN(cell) {
+		panic("geom: grid cell size must be positive")
+	}
+	return &Grid{
+		cell:  cell,
+		cells: make(map[cellKey][]int),
+		pts:   make(map[int]Point),
+	}
+}
+
+// CellSize returns the grid's cell side length.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Len returns the number of points stored in the grid.
+func (g *Grid) Len() int { return len(g.pts) }
+
+func (g *Grid) keyFor(p Point) cellKey {
+	return cellKey{
+		cx: int(math.Floor(p.X / g.cell)),
+		cy: int(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert adds the point p with identifier id. Inserting the same id twice
+// keeps both entries; callers are expected to use unique ids.
+func (g *Grid) Insert(id int, p Point) {
+	k := g.keyFor(p)
+	g.cells[k] = append(g.cells[k], id)
+	g.pts[id] = p
+}
+
+// Neighborhood returns the ids of all points within radius r of p
+// (inclusive). The result is sorted for determinism.
+func (g *Grid) Neighborhood(p Point, r float64) []int {
+	if r < 0 {
+		return nil
+	}
+	span := int(math.Ceil(r/g.cell)) + 1
+	center := g.keyFor(p)
+	var out []int
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			k := cellKey{cx: center.cx + dx, cy: center.cy + dy}
+			for _, id := range g.cells[k] {
+				if g.pts[id].Dist(p) <= r {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AnnulusCount returns how many stored points have distance d from p with
+// inner < d <= outer. It is used by interference bounds that sum over rings
+// around a receiver.
+func (g *Grid) AnnulusCount(p Point, inner, outer float64) int {
+	count := 0
+	for _, id := range g.Neighborhood(p, outer) {
+		d := g.pts[id].Dist(p)
+		if d > inner && d <= outer {
+			count++
+		}
+	}
+	return count
+}
+
+// Points returns a copy of the stored points keyed by id.
+func (g *Grid) Points() map[int]Point {
+	out := make(map[int]Point, len(g.pts))
+	for id, p := range g.pts {
+		out[id] = p
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+// Package sim provides the synchronous, slotted simulation engine that
+// drives protocol automata over the SINR channel.
+//
+// Time proceeds in discrete slots. In every slot the engine
+//
+//  1. asks every node automaton whether it transmits a frame (Tick),
+//  2. evaluates the SINR reception predicate at every listening node
+//     (sinr.Channel.SlotReceptions), and
+//  3. delivers the decoded frame, if any, to each receiver (Receive).
+//
+// Node automata never see positions, the set of transmitters, or other
+// nodes' state: all coordination happens through transmitted frames, as in
+// the paper's model. The engine supports both a sequential driver and a
+// goroutine-per-worker parallel driver; both produce identical executions
+// for well-behaved (share-nothing) nodes.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sinrmac/internal/rng"
+	"sinrmac/internal/sinr"
+)
+
+// Frame is one physical-layer frame occupying one slot on the channel.
+// Protocols define their own Kind values and payload types.
+type Frame struct {
+	// From is the sender's node id. The engine fills it in on transmission,
+	// so protocols do not need to set it.
+	From int
+	// Kind distinguishes protocol frame types (e.g. "data", "label", "ack").
+	Kind string
+	// Payload carries protocol-specific data. Frames are passed by pointer
+	// but must be treated as immutable once handed to the engine.
+	Payload interface{}
+}
+
+// Node is a per-node protocol automaton.
+//
+// Implementations must confine their state to the single node: the engine
+// may invoke different nodes' methods concurrently (never the same node's),
+// so sharing mutable state between Node instances is a data race.
+type Node interface {
+	// Init is called exactly once before the first slot with the node's id
+	// and a private random source.
+	Init(id int, src *rng.Source)
+	// Tick is called once per slot. Returning a non-nil frame transmits it
+	// during this slot; returning nil listens.
+	Tick(slot int64) *Frame
+	// Receive is called after Tick in the same slot if the node decoded a
+	// frame. A node that transmitted in this slot never receives
+	// (half-duplex).
+	Receive(slot int64, f *Frame)
+}
+
+// Observer is notified after every simulated slot. Observers are used by
+// experiments and the spec checker to collect traces without perturbing the
+// protocols.
+type Observer interface {
+	// OnSlot is called once per slot with the transmitting node ids and the
+	// per-node reception outcome (indexed by node id, Sender == -1 when
+	// nothing was decoded).
+	OnSlot(slot int64, transmitters []int, receptions []sinr.Reception)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(slot int64, transmitters []int, receptions []sinr.Reception)
+
+// OnSlot implements Observer.
+func (f ObserverFunc) OnSlot(slot int64, transmitters []int, receptions []sinr.Reception) {
+	f(slot, transmitters, receptions)
+}
+
+// Config controls engine construction.
+type Config struct {
+	// Seed seeds the per-node random sources. Identical seeds and nodes
+	// reproduce identical executions.
+	Seed uint64
+	// Parallel selects the goroutine-per-worker driver. The execution is
+	// identical to the sequential driver; only wall-clock time differs.
+	Parallel bool
+	// Workers bounds the number of worker goroutines used by the parallel
+	// driver. Zero means GOMAXPROCS.
+	Workers int
+}
+
+// Engine drives a set of node automata over an SINR channel.
+type Engine struct {
+	channel   *sinr.Channel
+	nodes     []Node
+	observers []Observer
+	cfg       Config
+
+	slot      int64
+	stats     Stats
+	frames    []*Frame // scratch: per-node frame transmitted this slot
+	txScratch []int
+}
+
+// Stats accumulates aggregate counters over an execution.
+type Stats struct {
+	// Slots is the number of slots simulated so far.
+	Slots int64
+	// Transmissions counts frames put on the channel.
+	Transmissions int64
+	// Receptions counts successful decodes.
+	Receptions int64
+}
+
+// NewEngine returns an engine over the given channel and nodes. The number
+// of nodes must match the channel's deployment size.
+func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error) {
+	if channel == nil {
+		return nil, fmt.Errorf("sim: nil channel")
+	}
+	if len(nodes) != channel.NumNodes() {
+		return nil, fmt.Errorf("sim: %d nodes for a %d-node deployment", len(nodes), channel.NumNodes())
+	}
+	e := &Engine{
+		channel: channel,
+		nodes:   nodes,
+		cfg:     cfg,
+		frames:  make([]*Frame, len(nodes)),
+	}
+	master := rng.New(cfg.Seed)
+	for i, n := range nodes {
+		if n == nil {
+			return nil, fmt.Errorf("sim: node %d is nil", i)
+		}
+		n.Init(i, master.SplitLabeled(uint64(i)))
+	}
+	return e, nil
+}
+
+// AddObserver registers an observer invoked after every slot, in
+// registration order.
+func (e *Engine) AddObserver(o Observer) {
+	e.observers = append(e.observers, o)
+}
+
+// Slot returns the number of the next slot to be simulated (equivalently,
+// the number of slots already simulated).
+func (e *Engine) Slot() int64 { return e.slot }
+
+// Stats returns the aggregate counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Channel returns the engine's SINR channel.
+func (e *Engine) Channel() *sinr.Channel { return e.channel }
+
+// Node returns the automaton with the given id. It is intended for tests
+// and for layering higher-level protocols on top of MAC automata.
+func (e *Engine) Node(id int) Node { return e.nodes[id] }
+
+// Step simulates exactly one slot.
+func (e *Engine) Step() {
+	slot := e.slot
+
+	// Phase 1: collect transmission decisions.
+	if e.cfg.Parallel {
+		e.tickParallel(slot)
+	} else {
+		for i, n := range e.nodes {
+			e.frames[i] = n.Tick(slot)
+		}
+	}
+	e.txScratch = e.txScratch[:0]
+	for i, f := range e.frames {
+		if f != nil {
+			f.From = i
+			e.txScratch = append(e.txScratch, i)
+		}
+	}
+
+	// Phase 2: channel evaluation.
+	receptions := e.channel.SlotReceptions(e.txScratch)
+
+	// Phase 3: deliveries.
+	if e.cfg.Parallel {
+		e.receiveParallel(slot, receptions)
+	} else {
+		for i, rec := range receptions {
+			if rec.Sender >= 0 {
+				e.nodes[i].Receive(slot, e.frames[rec.Sender])
+				e.stats.Receptions++
+			}
+		}
+	}
+	if e.cfg.Parallel {
+		for _, rec := range receptions {
+			if rec.Sender >= 0 {
+				e.stats.Receptions++
+			}
+		}
+	}
+
+	e.stats.Transmissions += int64(len(e.txScratch))
+	e.stats.Slots++
+	for _, o := range e.observers {
+		o.OnSlot(slot, e.txScratch, receptions)
+	}
+	e.slot++
+}
+
+func (e *Engine) workerCount() int {
+	w := e.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(e.nodes) {
+		w = len(e.nodes)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (e *Engine) tickParallel(slot int64) {
+	workers := e.workerCount()
+	var wg sync.WaitGroup
+	chunk := (len(e.nodes) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(e.nodes) {
+			hi = len(e.nodes)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				e.frames[i] = e.nodes[i].Tick(slot)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (e *Engine) receiveParallel(slot int64, receptions []sinr.Reception) {
+	workers := e.workerCount()
+	var wg sync.WaitGroup
+	chunk := (len(e.nodes) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(e.nodes) {
+			hi = len(e.nodes)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if s := receptions[i].Sender; s >= 0 {
+					e.nodes[i].Receive(slot, e.frames[s])
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Run simulates slots until stop returns true or maxSlots slots have been
+// simulated, whichever comes first. It returns the number of slots
+// simulated by this call and whether the stop condition was reached. stop
+// is evaluated before each slot (so a condition that already holds
+// simulates nothing) and may be nil to run exactly maxSlots slots.
+func (e *Engine) Run(maxSlots int64, stop func() bool) (int64, bool) {
+	start := e.slot
+	for e.slot-start < maxSlots {
+		if stop != nil && stop() {
+			return e.slot - start, true
+		}
+		e.Step()
+	}
+	return e.slot - start, stop != nil && stop()
+}

@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"sinrmac/internal/geom"
+	"sinrmac/internal/rng"
+	"sinrmac/internal/sinr"
+)
+
+// beaconNode transmits a "beacon" frame every period slots (starting at
+// slot offset) and records every frame it receives.
+type beaconNode struct {
+	id       int
+	src      *rng.Source
+	period   int64
+	offset   int64
+	sent     int
+	received []int // sender ids in order of reception
+}
+
+func (b *beaconNode) Init(id int, src *rng.Source) {
+	b.id = id
+	b.src = src
+}
+
+func (b *beaconNode) Tick(slot int64) *Frame {
+	if b.period > 0 && slot%b.period == b.offset {
+		b.sent++
+		return &Frame{Kind: "beacon", Payload: b.id}
+	}
+	return nil
+}
+
+func (b *beaconNode) Receive(slot int64, f *Frame) {
+	b.received = append(b.received, f.From)
+}
+
+// randomNode transmits with a fixed probability each slot, exercising the
+// per-node random source.
+type randomNode struct {
+	id       int
+	src      *rng.Source
+	p        float64
+	sent     int
+	received int
+}
+
+func (r *randomNode) Init(id int, src *rng.Source) { r.id, r.src = id, src }
+
+func (r *randomNode) Tick(slot int64) *Frame {
+	if r.src.Bernoulli(r.p) {
+		r.sent++
+		return &Frame{Kind: "rand"}
+	}
+	return nil
+}
+
+func (r *randomNode) Receive(slot int64, f *Frame) { r.received++ }
+
+func twoNodeChannel(t *testing.T, d float64) *sinr.Channel {
+	t.Helper()
+	ch, err := sinr.NewChannel(sinr.DefaultParams(10), []geom.Point{{X: 0, Y: 0}, {X: d, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	if _, err := NewEngine(nil, nil, Config{}); err == nil {
+		t.Fatal("nil channel accepted")
+	}
+	if _, err := NewEngine(ch, []Node{&beaconNode{}}, Config{}); err == nil {
+		t.Fatal("node count mismatch accepted")
+	}
+	if _, err := NewEngine(ch, []Node{&beaconNode{}, nil}, Config{}); err == nil {
+		t.Fatal("nil node accepted")
+	}
+}
+
+func TestSingleTransmissionDelivered(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	sender := &beaconNode{period: 4, offset: 0}
+	listener := &beaconNode{}
+	eng, err := NewEngine(ch, []Node{sender, listener}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(8, nil)
+	if sender.sent != 2 {
+		t.Fatalf("sender transmitted %d times, want 2", sender.sent)
+	}
+	if len(listener.received) != 2 || listener.received[0] != 0 {
+		t.Fatalf("listener received %v, want two frames from node 0", listener.received)
+	}
+	st := eng.Stats()
+	if st.Slots != 8 || st.Transmissions != 2 || st.Receptions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOutOfRangeNotDelivered(t *testing.T) {
+	ch := twoNodeChannel(t, 50)
+	sender := &beaconNode{period: 1, offset: 0}
+	listener := &beaconNode{}
+	eng, err := NewEngine(ch, []Node{sender, listener}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10, nil)
+	if len(listener.received) != 0 {
+		t.Fatalf("out-of-range listener received %v", listener.received)
+	}
+}
+
+func TestHalfDuplexInEngine(t *testing.T) {
+	// Both nodes transmit in the same slots; neither must ever receive.
+	ch := twoNodeChannel(t, 5)
+	a := &beaconNode{period: 2, offset: 0}
+	b := &beaconNode{period: 2, offset: 0}
+	eng, err := NewEngine(ch, []Node{a, b}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10, nil)
+	if len(a.received) != 0 || len(b.received) != 0 {
+		t.Fatalf("concurrent transmitters received frames: %v %v", a.received, b.received)
+	}
+}
+
+func TestAlternatingTransmitters(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	a := &beaconNode{period: 2, offset: 0}
+	b := &beaconNode{period: 2, offset: 1}
+	eng, err := NewEngine(ch, []Node{a, b}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(10, nil)
+	if len(a.received) != 5 || len(b.received) != 5 {
+		t.Fatalf("alternating schedule delivered %d/%d frames, want 5/5", len(a.received), len(b.received))
+	}
+}
+
+func TestFrameFromFilledByEngine(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	a := &beaconNode{period: 1, offset: 0}
+	b := &beaconNode{}
+	eng, err := NewEngine(ch, []Node{a, b}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Step()
+	if len(b.received) != 1 || b.received[0] != 0 {
+		t.Fatalf("receiver saw %v, want sender id 0 set by engine", b.received)
+	}
+}
+
+func TestRunStopCondition(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	a := &beaconNode{period: 1, offset: 0}
+	b := &beaconNode{}
+	eng, err := NewEngine(ch, []Node{a, b}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, stopped := eng.Run(100, func() bool { return len(b.received) >= 3 })
+	if !stopped {
+		t.Fatal("stop condition not reached")
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d slots, want 3", ran)
+	}
+	// A stop condition that already holds runs zero slots.
+	ran, stopped = eng.Run(100, func() bool { return true })
+	if ran != 0 || !stopped {
+		t.Fatalf("pre-satisfied stop ran %d slots, stopped=%v", ran, stopped)
+	}
+	// Without a stop condition Run simulates exactly maxSlots.
+	ran, stopped = eng.Run(7, nil)
+	if ran != 7 || stopped {
+		t.Fatalf("unconditional run: ran=%d stopped=%v", ran, stopped)
+	}
+}
+
+func TestObserverSeesTraffic(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	a := &beaconNode{period: 2, offset: 0}
+	b := &beaconNode{}
+	eng, err := NewEngine(ch, []Node{a, b}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slots []int64
+	var totalTx, totalRx int
+	eng.AddObserver(ObserverFunc(func(slot int64, tx []int, rec []sinr.Reception) {
+		slots = append(slots, slot)
+		totalTx += len(tx)
+		for _, r := range rec {
+			if r.Sender >= 0 {
+				totalRx++
+			}
+		}
+	}))
+	eng.Run(6, nil)
+	if len(slots) != 6 || slots[0] != 0 || slots[5] != 5 {
+		t.Fatalf("observer slots = %v", slots)
+	}
+	if totalTx != 3 || totalRx != 3 {
+		t.Fatalf("observer saw tx=%d rx=%d, want 3/3", totalTx, totalRx)
+	}
+}
+
+// buildRandomScenario builds an n-node random deployment with random
+// transmitter nodes for the parallel/sequential equivalence test.
+func buildRandomScenario(t *testing.T, n int, seed uint64, parallel bool) ([]*randomNode, *Engine) {
+	t.Helper()
+	src := rng.New(seed)
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * 40, Y: src.Float64() * 40}
+	}
+	ch, err := sinr.NewChannel(sinr.DefaultParams(12), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*randomNode, n)
+	ifaces := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &randomNode{p: 0.2}
+		ifaces[i] = nodes[i]
+	}
+	eng, err := NewEngine(ch, ifaces, Config{Seed: 99, Parallel: parallel, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, eng
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seqNodes, seqEng := buildRandomScenario(t, 60, 5, false)
+	parNodes, parEng := buildRandomScenario(t, 60, 5, true)
+	seqEng.Run(200, nil)
+	parEng.Run(200, nil)
+	if seqEng.Stats() != parEng.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", seqEng.Stats(), parEng.Stats())
+	}
+	for i := range seqNodes {
+		if seqNodes[i].sent != parNodes[i].sent || seqNodes[i].received != parNodes[i].received {
+			t.Fatalf("node %d diverged: seq sent=%d recv=%d, par sent=%d recv=%d",
+				i, seqNodes[i].sent, seqNodes[i].received, parNodes[i].sent, parNodes[i].received)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	aNodes, aEng := buildRandomScenario(t, 40, 17, false)
+	bNodes, bEng := buildRandomScenario(t, 40, 17, false)
+	aEng.Run(300, nil)
+	bEng.Run(300, nil)
+	for i := range aNodes {
+		if aNodes[i].sent != bNodes[i].sent || aNodes[i].received != bNodes[i].received {
+			t.Fatalf("replay diverged at node %d", i)
+		}
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	a := &beaconNode{}
+	b := &beaconNode{}
+	eng, err := NewEngine(ch, []Node{a, b}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Channel() != ch {
+		t.Fatal("Channel accessor mismatch")
+	}
+	if eng.Node(0) != Node(a) || eng.Node(1) != Node(b) {
+		t.Fatal("Node accessor mismatch")
+	}
+	if eng.Slot() != 0 {
+		t.Fatal("fresh engine slot != 0")
+	}
+	eng.Step()
+	if eng.Slot() != 1 {
+		t.Fatal("slot did not advance")
+	}
+}
+
+func TestManyNodesThroughput(t *testing.T) {
+	// Smoke test: a larger deployment with random transmitters makes some
+	// progress (receptions happen) and no invariants trip.
+	nodes, eng := buildRandomScenario(t, 150, 23, true)
+	eng.Run(200, nil)
+	totalRx := 0
+	for _, n := range nodes {
+		totalRx += n.received
+	}
+	if totalRx == 0 {
+		t.Fatal("no receptions in 200 slots of random traffic")
+	}
+	if eng.Stats().Receptions != int64(totalRx) {
+		t.Fatalf("stats receptions %d != node total %d", eng.Stats().Receptions, totalRx)
+	}
+}
+
+func ExampleEngine() {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}}
+	ch, err := sinr.NewChannel(sinr.DefaultParams(10), pos)
+	if err != nil {
+		panic(err)
+	}
+	sender := &beaconNode{period: 2, offset: 0}
+	listener := &beaconNode{}
+	eng, err := NewEngine(ch, []Node{sender, listener}, Config{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	eng.Run(10, nil)
+	fmt.Println(len(listener.received))
+	// Output: 5
+}
+
+func BenchmarkEngineStep200Nodes(b *testing.B) {
+	src := rng.New(3)
+	pos := make([]geom.Point, 200)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * 60, Y: src.Float64() * 60}
+	}
+	ch, err := sinr.NewChannel(sinr.DefaultParams(12), pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]Node, 200)
+	for i := range nodes {
+		nodes[i] = &randomNode{p: 0.1}
+	}
+	eng, err := NewEngine(ch, nodes, Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkEngineStepParallel200Nodes(b *testing.B) {
+	src := rng.New(3)
+	pos := make([]geom.Point, 200)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * 60, Y: src.Float64() * 60}
+	}
+	ch, err := sinr.NewChannel(sinr.DefaultParams(12), pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]Node, 200)
+	for i := range nodes {
+		nodes[i] = &randomNode{p: 0.1}
+	}
+	eng, err := NewEngine(ch, nodes, Config{Seed: 1, Parallel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}

@@ -1,0 +1,264 @@
+// Package sinr implements the physical (SINR) interference model of the
+// paper, Section 4.2.
+//
+// A transmission from v is received at u iff
+//
+//	SINR_u(v) = (P / d(v,u)^α) / (Σ_{w∈S\{u,v}} P / d(w,u)^α + N) >= β
+//
+// where S is the set of concurrently transmitting nodes, P the uniform
+// transmission power, N the ambient noise and α the path-loss exponent.
+// The transmission range is R = (P/(βN))^{1/α}; R_a = a·R for a ∈ (0,1]
+// defines the strong-connectivity radii R_{1-ε} and R_{1-2ε} used by the
+// induced graphs G_{1-ε} and G_{1-2ε}.
+package sinr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sinrmac/internal/geom"
+)
+
+// Params holds the physical-layer constants of the SINR model.
+type Params struct {
+	// Alpha is the path-loss exponent. The paper assumes Alpha > 2
+	// (typically in (2, 6]).
+	Alpha float64
+	// Beta is the minimum SINR threshold required for successful
+	// reception, Beta > 1.
+	Beta float64
+	// Noise is the ambient noise power N > 0.
+	Noise float64
+	// Power is the uniform transmission power P > 0 used by all nodes.
+	Power float64
+	// Epsilon is the strong-connectivity slack ε ∈ (0, 1/2): reliable
+	// local broadcast is provided on G_{1-ε} and approximate progress is
+	// measured on G_{1-2ε}.
+	Epsilon float64
+}
+
+// DefaultParams returns a parameter set with α = 3, β = 1.5, unit noise and
+// ε = 0.1, with the power chosen so that the transmission range R is the
+// given value. These are the defaults used by examples and experiments.
+func DefaultParams(transmissionRange float64) Params {
+	p := Params{
+		Alpha:   3,
+		Beta:    1.5,
+		Noise:   1,
+		Epsilon: 0.1,
+	}
+	// R = (P/(βN))^{1/α}  =>  P = βN R^α.
+	p.Power = p.Beta * p.Noise * math.Pow(transmissionRange, p.Alpha)
+	return p
+}
+
+// Validate reports whether the parameters satisfy the model assumptions of
+// Section 4.6 of the paper.
+func (p Params) Validate() error {
+	switch {
+	case p.Alpha <= 2:
+		return fmt.Errorf("sinr: path-loss exponent alpha = %v must exceed 2", p.Alpha)
+	case p.Beta <= 1:
+		return fmt.Errorf("sinr: SINR threshold beta = %v must exceed 1", p.Beta)
+	case p.Noise <= 0:
+		return fmt.Errorf("sinr: noise = %v must be positive", p.Noise)
+	case p.Power <= 0:
+		return fmt.Errorf("sinr: power = %v must be positive", p.Power)
+	case p.Epsilon <= 0 || p.Epsilon >= 0.5:
+		return fmt.Errorf("sinr: epsilon = %v must lie in (0, 0.5)", p.Epsilon)
+	}
+	return nil
+}
+
+// Range returns the transmission range R = (P/(βN))^{1/α}: the maximum
+// distance at which a message can be received when no other node transmits.
+func (p Params) Range() float64 {
+	return math.Pow(p.Power/(p.Beta*p.Noise), 1/p.Alpha)
+}
+
+// RangeA returns R_a = a · R.
+func (p Params) RangeA(a float64) float64 {
+	return a * p.Range()
+}
+
+// StrongRange returns R_{1-ε}, the radius of the reliable-broadcast graph
+// G_{1-ε}.
+func (p Params) StrongRange() float64 {
+	return p.RangeA(1 - p.Epsilon)
+}
+
+// ApproxRange returns R_{1-2ε}, the radius of the approximation graph
+// G_{1-2ε} in which approximate progress is measured.
+func (p Params) ApproxRange() float64 {
+	return p.RangeA(1 - 2*p.Epsilon)
+}
+
+// ReceivedPower returns the power received over distance d, applying the
+// near-field clamp of the paper: distances below 1 are treated as 1 so that
+// a receiver never observes more power than was transmitted.
+func (p Params) ReceivedPower(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return p.Power / math.Pow(d, p.Alpha)
+}
+
+// ErrMismatchedPositions is returned by NewChannel when the position slice
+// is empty.
+var ErrMismatchedPositions = errors.New("sinr: channel requires at least one node position")
+
+// Channel evaluates the SINR reception predicate for a fixed deployment of
+// nodes. It owns the node positions; protocol automata never access them,
+// matching the paper's assumption that locations are unknown to nodes.
+type Channel struct {
+	params Params
+	pos    []geom.Point
+}
+
+// NewChannel returns a channel for the given parameters and node positions.
+// Node i is located at pos[i].
+func NewChannel(params Params, pos []geom.Point) (*Channel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pos) == 0 {
+		return nil, ErrMismatchedPositions
+	}
+	cp := make([]geom.Point, len(pos))
+	copy(cp, pos)
+	return &Channel{params: params, pos: cp}, nil
+}
+
+// Params returns the channel's physical parameters.
+func (c *Channel) Params() Params { return c.params }
+
+// NumNodes returns the number of nodes in the deployment.
+func (c *Channel) NumNodes() int { return len(c.pos) }
+
+// Positions returns a copy of the node positions. It is intended for
+// analysis code (graph induction, experiment reporting), not for protocols.
+func (c *Channel) Positions() []geom.Point {
+	cp := make([]geom.Point, len(c.pos))
+	copy(cp, c.pos)
+	return cp
+}
+
+// Dist returns the Euclidean distance between nodes u and v.
+func (c *Channel) Dist(u, v int) float64 {
+	return c.pos[u].Dist(c.pos[v])
+}
+
+// Interference returns the total interference power observed at node recv
+// from every node in transmitters except recv itself and the excluded
+// sender (pass sender < 0 to include all transmitters).
+func (c *Channel) Interference(recv int, transmitters []int, sender int) float64 {
+	total := 0.0
+	for _, w := range transmitters {
+		if w == recv || w == sender {
+			continue
+		}
+		total += c.params.ReceivedPower(c.Dist(w, recv))
+	}
+	return total
+}
+
+// SINR returns the signal-to-interference-plus-noise ratio at node recv for
+// the transmission of node sender, given the full set of concurrent
+// transmitters.
+func (c *Channel) SINR(recv, sender int, transmitters []int) float64 {
+	signal := c.params.ReceivedPower(c.Dist(sender, recv))
+	interference := c.Interference(recv, transmitters, sender)
+	return signal / (interference + c.params.Noise)
+}
+
+// Decodes reports whether node recv successfully decodes the transmission
+// of node sender when the nodes in transmitters transmit concurrently.
+// A node that is itself transmitting never decodes (half-duplex), and a
+// node never decodes its own transmission.
+func (c *Channel) Decodes(recv, sender int, transmitters []int) bool {
+	if recv == sender {
+		return false
+	}
+	for _, w := range transmitters {
+		if w == recv {
+			return false // half-duplex: a transmitting node cannot receive
+		}
+	}
+	return c.SINR(recv, sender, transmitters) >= c.params.Beta
+}
+
+// Reception describes the outcome of one slot at one listening node.
+type Reception struct {
+	// Sender is the index of the node whose frame was decoded, or -1 if
+	// nothing was decoded this slot.
+	Sender int
+}
+
+// SlotReceptions evaluates one communication slot: given the set of
+// transmitting nodes, it returns for every node the sender it decodes (or
+// -1). Because β > 1, at most one sender can satisfy the SINR condition at
+// any receiver, so the result is unambiguous; the implementation still
+// scans all transmitters and keeps the decodable one.
+//
+// The returned slice is indexed by node id and has length NumNodes().
+func (c *Channel) SlotReceptions(transmitters []int) []Reception {
+	out := make([]Reception, len(c.pos))
+	for i := range out {
+		out[i].Sender = -1
+	}
+	if len(transmitters) == 0 {
+		return out
+	}
+	transmitting := make(map[int]bool, len(transmitters))
+	for _, t := range transmitters {
+		transmitting[t] = true
+	}
+	// Precompute total received power at every node from all transmitters;
+	// then SINR for sender s at receiver r is P_s / (total - P_s + N).
+	totals := make([]float64, len(c.pos))
+	for r := range c.pos {
+		if transmitting[r] {
+			continue
+		}
+		for _, s := range transmitters {
+			totals[r] += c.params.ReceivedPower(c.Dist(s, r))
+		}
+	}
+	for r := range c.pos {
+		if transmitting[r] {
+			continue
+		}
+		for _, s := range transmitters {
+			signal := c.params.ReceivedPower(c.Dist(s, r))
+			if signal/(totals[r]-signal+c.params.Noise) >= c.params.Beta {
+				out[r].Sender = s
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MaxContentionBound returns the paper's coarse bound 4Λ² on the number of
+// nodes within transmission range R₁ of any node, given Λ (the ratio of
+// R_{1-ε} to the minimum pairwise distance). It is used by the
+// acknowledgment algorithm, which only knows a polynomial bound on Λ.
+func MaxContentionBound(lambda float64) float64 {
+	return 4 * lambda * lambda
+}
+
+// Lambda returns Λ = R_{1-ε} / dmin for the given deployment: the ratio of
+// the strong-connectivity radius to the minimum pairwise node distance.
+// It returns 1 when the deployment has fewer than two nodes.
+func Lambda(params Params, pos []geom.Point) float64 {
+	dmin := geom.MinPairwiseDist(pos)
+	if math.IsInf(dmin, 1) || dmin <= 0 {
+		return 1
+	}
+	l := params.StrongRange() / dmin
+	if l < 1 {
+		return 1
+	}
+	return l
+}
