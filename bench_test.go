@@ -9,10 +9,14 @@
 package sinrmac_test
 
 import (
+	"math"
 	"strconv"
 	"testing"
 
 	"sinrmac/internal/exp"
+	"sinrmac/internal/geom"
+	"sinrmac/internal/rng"
+	"sinrmac/internal/sinr"
 )
 
 // benchConfig is the configuration used by all benchmarks: full sweeps, one
@@ -97,3 +101,62 @@ func BenchmarkTable1MMB(b *testing.B) {
 func BenchmarkTable1Consensus(b *testing.B) {
 	runExperiment(b, exp.ConsensusScaling, 3, "slots/cons_at_max_diam")
 }
+
+// slotScenario builds the large-n channel-engine workload: n nodes at
+// constant density (the hardest regime for far-field culling — nearly every
+// receiver has transmitters in range) with 10% of the nodes transmitting.
+func slotScenario(b *testing.B, n int) (*sinr.Channel, []int) {
+	b.Helper()
+	src := rng.New(8)
+	side := 4 * math.Sqrt(float64(n))
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * side, Y: src.Float64() * side}
+	}
+	ch, err := sinr.NewChannel(sinr.DefaultParams(12), pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tx []int
+	for i := range pos {
+		if i%10 == 0 {
+			tx = append(tx, i)
+		}
+	}
+	return ch, tx
+}
+
+// benchSlotReceptions compares the naive reference evaluator against the
+// fast engine on the same deployment and transmitter set. The two must
+// produce identical receptions (differentially tested in internal/sinr);
+// only wall-clock time may differ. Run with -benchtime=5x or similar for a
+// quick comparison; the sub-benchmark ratio is the speedup.
+func benchSlotReceptions(b *testing.B, n int) {
+	ch, tx := slotScenario(b, n)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ch.SlotReceptions(tx)
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		fast := sinr.NewFastChannel(ch)
+		fast.SlotReceptions(tx) // warm the power cache like a running simulation
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fast.SlotReceptions(tx)
+		}
+	})
+}
+
+// BenchmarkSlotReceptions1k exercises the cached-power-matrix path
+// (n below sinr.DefaultMatrixThreshold).
+func BenchmarkSlotReceptions1k(b *testing.B) { benchSlotReceptions(b, 1000) }
+
+// BenchmarkSlotReceptions5k exercises the spatial-grid far-field path with
+// the lazy column cache.
+func BenchmarkSlotReceptions5k(b *testing.B) { benchSlotReceptions(b, 5000) }
+
+// BenchmarkSlotReceptions10k is the node-count regime the ROADMAP's
+// related-work targets (decentralized coloring, CONGEST LLL evaluations)
+// simulate at.
+func BenchmarkSlotReceptions10k(b *testing.B) { benchSlotReceptions(b, 10000) }

@@ -127,7 +127,10 @@ func measure(n, trials int, seed uint64, base func(float64) approgress.Config, m
 		if err != nil {
 			return nil, 0, err
 		}
-		eng, err := sim.NewEngine(ch, simNodes, sim.Config{Seed: s})
+		// The ablation sweeps run many trials over dense clusters; select
+		// the fast SINR evaluator explicitly (identical executions to the
+		// naive reference, differentially tested in internal/sinr).
+		eng, err := sim.NewEngine(ch, simNodes, sim.Config{Seed: s, Evaluator: sinr.NewFastChannel(ch)})
 		if err != nil {
 			return nil, 0, err
 		}

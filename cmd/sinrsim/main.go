@@ -57,6 +57,7 @@ func run() int {
 		slots        = flag.Int64("slots", 0, "number of slots to simulate (0 = a sensible default for the MAC)")
 		seed         = flag.Uint64("seed", 1, "random seed")
 		parallel     = flag.Bool("parallel", false, "use the goroutine-per-worker simulation driver")
+		evaluator    = flag.String("evaluator", "fast", "SINR slot evaluator: fast (arena/grid engine) or naive (reference scan)")
 	)
 	flag.Parse()
 
@@ -89,7 +90,20 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sinrsim: %v\n", err)
 		return 1
 	}
-	eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: *seed, Parallel: *parallel})
+	// Both evaluators produce identical executions; the choice only affects
+	// wall-clock time (the differential harness in internal/sinr keeps them
+	// in lock-step).
+	var ev sinr.ChannelEvaluator
+	switch *evaluator {
+	case "fast":
+		ev = sinr.NewFastChannel(ch)
+	case "naive":
+		ev = nil // sim.Engine defaults to the reference path
+	default:
+		fmt.Fprintf(os.Stderr, "sinrsim: unknown evaluator %q (want fast or naive)\n", *evaluator)
+		return 2
+	}
+	eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: *seed, Parallel: *parallel, Evaluator: ev})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sinrsim: %v\n", err)
 		return 1

@@ -11,7 +11,34 @@
 // internal/consensus) and the experiment harness that regenerates the
 // paper's tables and figures (internal/exp).
 //
+// # Channel evaluator architecture
+//
+// Slot evaluation — deciding, for a set of concurrent transmitters, which
+// node decodes which frame under the SINR predicate — is the hot path every
+// simulation funnels through. It is abstracted behind the
+// sinr.ChannelEvaluator interface, with two implementations:
+//
+//   - the naive reference: sinr.Channel.SlotReceptions, a deliberately
+//     simple O(n·k) scan that allocates fresh storage per slot and
+//     recomputes every received power. It defines the semantics and is the
+//     default path of sim.Engine.
+//   - the fast engine: sinr.FastChannel, which reuses a per-channel scratch
+//     arena, caches the full received-power matrix for deployments up to
+//     sinr.DefaultMatrixThreshold nodes, and above that threshold combines
+//     a spatial grid (internal/geom) that culls far-field receivers with a
+//     memory-bounded lazy cache of per-sender power columns. Receivers are
+//     scanned by a deterministic worker pool wired to sim.Config.Workers.
+//
+// The two paths produce bit-identical Reception slices: culling only skips
+// work whose outcome is provably fixed, and the differential property test
+// TestSlotReceptionsEquivalence in internal/sinr holds them to that across
+// randomized topologies, densities and transmitter sets. Drivers select a
+// path explicitly via sim.Config.Evaluator; the experiment harness
+// (internal/exp), cmd/macbench and cmd/sinrsim use the fast engine, while
+// unit tests exercising channel semantics keep the reference path.
+//
 // Runnable entry points are provided under cmd/ and examples/; the
 // top-level benchmark suite (bench_test.go) regenerates every table and
-// figure via `go test -bench=.`.
+// figure via `go test -bench=.` and compares the two evaluators at
+// n = 1k/5k/10k via BenchmarkSlotReceptions.
 package sinrmac

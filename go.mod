@@ -1,0 +1,3 @@
+module sinrmac
+
+go 1.24

@@ -1,0 +1,21 @@
+package exp
+
+import (
+	"sinrmac/internal/sim"
+	"sinrmac/internal/sinr"
+	"sinrmac/internal/topology"
+)
+
+// newEngine builds the simulation engine every experiment runs on. The
+// experiment harness explicitly selects the fast SINR evaluator
+// (sinr.NewFastChannel): it is differentially tested against the naive
+// reference path, produces identical executions, and keeps the large sweeps
+// tractable. Tests that want the reference semantics construct their engine
+// directly with a nil Config.Evaluator.
+func newEngine(d *topology.Deployment, nodes []sim.Node, seed uint64) (*sim.Engine, error) {
+	ch, err := d.Channel()
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewEngine(ch, nodes, sim.Config{Seed: seed, Evaluator: sinr.NewFastChannel(ch)})
+}

@@ -62,11 +62,7 @@ func runBMMBOverMACs(d *topology.Deployment, msgs []core.Message, seed uint64, d
 		attach(n, layers[i])
 		nodes[i] = n
 	}
-	ch, err := d.Channel()
-	if err != nil {
-		return 0, false, err
-	}
-	eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+	eng, err := newEngine(d, nodes, seed)
 	if err != nil {
 		return 0, false, err
 	}
@@ -101,11 +97,7 @@ func runDirectSMB(d *topology.Deployment, msg core.Message, seed uint64, deadlin
 		n.SetLayer(layers[i])
 		nodes[i] = n
 	}
-	ch, err := d.Channel()
-	if err != nil {
-		return 0, false, err
-	}
-	eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+	eng, err := newEngine(d, nodes, seed)
 	if err != nil {
 		return 0, false, err
 	}
@@ -321,11 +313,7 @@ func ConsensusScaling(cfg Config) (Table, error) {
 				node.SetLayer(l)
 				nodes[i] = node
 			}
-			ch, err := d.Channel()
-			if err != nil {
-				return table, err
-			}
-			eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+			eng, err := newEngine(d, nodes, seed)
 			if err != nil {
 				return table, err
 			}

@@ -101,11 +101,7 @@ func AckScaling(cfg Config) (Table, error) {
 				n.SetLayer(layers[i])
 				nodes[i] = n
 			}
-			ch, err := d.Channel()
-			if err != nil {
-				return table, err
-			}
-			eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+			eng, err := newEngine(d, nodes, seed)
 			if err != nil {
 				return table, err
 			}
@@ -283,11 +279,7 @@ func ApproxProgressScaling(cfg Config) (Table, error) {
 				apNodes[i] = n
 				nodes[i] = n
 			}
-			ch, err := d.Channel()
-			if err != nil {
-				return table, err
-			}
-			eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+			eng, err := newEngine(d, nodes, seed)
 			if err != nil {
 				return table, err
 			}
@@ -412,11 +404,7 @@ func measureTwoBallsProgress(d *topology.Deployment, delta int, seed uint64, use
 			nodes[i] = n
 		}
 	}
-	ch, err := d.Channel()
-	if err != nil {
-		return 0, err
-	}
-	eng, err := sim.NewEngine(ch, nodes, sim.Config{Seed: seed})
+	eng, err := newEngine(d, nodes, seed)
 	if err != nil {
 		return 0, err
 	}

@@ -268,6 +268,32 @@ func (g *Grid) Neighborhood(p Point, r float64) []int {
 	return out
 }
 
+// AnyWithin reports whether any stored point q with Dist(p, q) <= r
+// satisfies pred. Unlike Neighborhood it allocates nothing and stops at the
+// first match, which makes it suitable for per-slot hot paths (the fast SINR
+// evaluator uses it to cull receivers with no transmitter in range).
+func (g *Grid) AnyWithin(p Point, r float64, pred func(id int) bool) bool {
+	if r < 0 {
+		return false
+	}
+	// A point within distance r of p lies in a cell whose coordinates differ
+	// from p's cell by at most ceil(r/cell) in each axis.
+	span := int(math.Ceil(r / g.cell))
+	center := g.keyFor(p)
+	rr := r * r
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			k := cellKey{cx: center.cx + dx, cy: center.cy + dy}
+			for _, id := range g.cells[k] {
+				if g.pts[id].DistSq(p) <= rr && pred(id) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // AnnulusCount returns how many stored points have distance d from p with
 // inner < d <= outer. It is used by interference bounds that sum over rings
 // around a receiver.

@@ -309,3 +309,59 @@ func BenchmarkGridNeighborhood(b *testing.B) {
 		g.Neighborhood(Point{50, 50}, 10)
 	}
 }
+
+// TestGridAnyWithin checks the non-allocating existence query against the
+// allocating Neighborhood reference on random point sets.
+func TestGridAnyWithin(t *testing.T) {
+	src := rng.New(31)
+	g := NewGrid(3)
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: src.Float64() * 100, Y: src.Float64() * 100}
+		g.Insert(i, pts[i])
+	}
+	always := func(int) bool { return true }
+	for trial := 0; trial < 200; trial++ {
+		p := Point{X: src.Float64() * 120, Y: src.Float64() * 120}
+		r := src.Float64() * 15
+		want := len(g.Neighborhood(p, r)) > 0
+		if got := g.AnyWithin(p, r, always); got != want {
+			t.Fatalf("AnyWithin(%v, %v) = %v, Neighborhood says %v", p, r, got, want)
+		}
+	}
+	// The predicate restricts matches: only even ids count.
+	even := func(id int) bool { return id%2 == 0 }
+	for trial := 0; trial < 200; trial++ {
+		p := Point{X: src.Float64() * 120, Y: src.Float64() * 120}
+		r := src.Float64() * 15
+		want := false
+		for _, id := range g.Neighborhood(p, r) {
+			if id%2 == 0 {
+				want = true
+				break
+			}
+		}
+		if got := g.AnyWithin(p, r, even); got != want {
+			t.Fatalf("AnyWithin(even) mismatch at %v r=%v", p, r)
+		}
+	}
+	if g.AnyWithin(Point{0, 0}, -1, always) {
+		t.Fatal("negative radius matched")
+	}
+}
+
+// TestGridAnyWithinAllocFree pins the property the fast SINR evaluator
+// relies on: the existence query allocates nothing.
+func TestGridAnyWithinAllocFree(t *testing.T) {
+	g := NewGrid(2)
+	for i := 0; i < 100; i++ {
+		g.Insert(i, Point{X: float64(i % 10), Y: float64(i / 10)})
+	}
+	pred := func(id int) bool { return id == 99 }
+	allocs := testing.AllocsPerRun(50, func() {
+		g.AnyWithin(Point{5, 5}, 4, pred)
+	})
+	if allocs != 0 {
+		t.Fatalf("AnyWithin allocates %.1f objects per query, want 0", allocs)
+	}
+}

@@ -5,7 +5,8 @@
 //
 //  1. asks every node automaton whether it transmits a frame (Tick),
 //  2. evaluates the SINR reception predicate at every listening node
-//     (sinr.Channel.SlotReceptions), and
+//     through the configured sinr.ChannelEvaluator (the naive reference
+//     scan by default, the fast arena/grid engine via Config.Evaluator), and
 //  3. delivers the decoded frame, if any, to each receiver (Receive).
 //
 // Node automata never see positions, the set of transmitters, or other
@@ -61,7 +62,10 @@ type Node interface {
 type Observer interface {
 	// OnSlot is called once per slot with the transmitting node ids and the
 	// per-node reception outcome (indexed by node id, Sender == -1 when
-	// nothing was decoded).
+	// nothing was decoded). Both slices are only valid for the duration of
+	// the call: fast evaluators reuse the receptions slice as scratch for
+	// the next slot, and the engine reuses the transmitter slice. Observers
+	// that retain either must copy.
 	OnSlot(slot int64, transmitters []int, receptions []sinr.Reception)
 }
 
@@ -82,13 +86,24 @@ type Config struct {
 	// identical to the sequential driver; only wall-clock time differs.
 	Parallel bool
 	// Workers bounds the number of worker goroutines used by the parallel
-	// driver. Zero means GOMAXPROCS.
+	// driver and by a parallel channel evaluator. Zero means GOMAXPROCS.
 	Workers int
+	// Evaluator selects the SINR slot evaluator. Nil means the channel
+	// itself (the naive reference path); pass sinr.NewFastChannel(channel)
+	// to select the arena-backed parallel engine. The evaluator must be
+	// built over the same deployment as the channel. If it implements
+	// sinr.ParallelEvaluator, the engine wires its worker count into it.
+	//
+	// Fast evaluators reuse their Reception slice across slots, so observers
+	// registered on an engine with a non-nil Evaluator must copy the slice
+	// if they retain it beyond the OnSlot call.
+	Evaluator sinr.ChannelEvaluator
 }
 
 // Engine drives a set of node automata over an SINR channel.
 type Engine struct {
 	channel   *sinr.Channel
+	evaluator sinr.ChannelEvaluator
 	nodes     []Node
 	observers []Observer
 	cfg       Config
@@ -118,11 +133,26 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 	if len(nodes) != channel.NumNodes() {
 		return nil, fmt.Errorf("sim: %d nodes for a %d-node deployment", len(nodes), channel.NumNodes())
 	}
+	evaluator := cfg.Evaluator
+	if evaluator == nil {
+		evaluator = channel
+	}
+	if evaluator.NumNodes() != channel.NumNodes() {
+		return nil, fmt.Errorf("sim: evaluator over %d nodes for a %d-node deployment",
+			evaluator.NumNodes(), channel.NumNodes())
+	}
+	if wrapped, ok := evaluator.(interface{ Channel() *sinr.Channel }); ok && wrapped.Channel() != channel {
+		return nil, fmt.Errorf("sim: evaluator wraps a different channel than the engine's")
+	}
 	e := &Engine{
-		channel: channel,
-		nodes:   nodes,
-		cfg:     cfg,
-		frames:  make([]*Frame, len(nodes)),
+		channel:   channel,
+		evaluator: evaluator,
+		nodes:     nodes,
+		cfg:       cfg,
+		frames:    make([]*Frame, len(nodes)),
+	}
+	if pe, ok := evaluator.(sinr.ParallelEvaluator); ok {
+		pe.SetWorkers(e.workerCount())
 	}
 	master := rng.New(cfg.Seed)
 	for i, n := range nodes {
@@ -150,6 +180,10 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Channel returns the engine's SINR channel.
 func (e *Engine) Channel() *sinr.Channel { return e.channel }
 
+// Evaluator returns the slot evaluator the engine runs on: the channel
+// itself unless Config.Evaluator selected another path.
+func (e *Engine) Evaluator() sinr.ChannelEvaluator { return e.evaluator }
+
 // Node returns the automaton with the given id. It is intended for tests
 // and for layering higher-level protocols on top of MAC automata.
 func (e *Engine) Node(id int) Node { return e.nodes[id] }
@@ -175,7 +209,7 @@ func (e *Engine) Step() {
 	}
 
 	// Phase 2: channel evaluation.
-	receptions := e.channel.SlotReceptions(e.txScratch)
+	receptions := e.evaluator.SlotReceptions(e.txScratch)
 
 	// Phase 3: deliveries.
 	if e.cfg.Parallel {

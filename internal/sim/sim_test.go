@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sinrmac/internal/geom"
@@ -214,9 +215,15 @@ func TestObserverSeesTraffic(t *testing.T) {
 	}
 }
 
-// buildRandomScenario builds an n-node random deployment with random
-// transmitter nodes for the parallel/sequential equivalence test.
-func buildRandomScenario(t *testing.T, n int, seed uint64, parallel bool) ([]*randomNode, *Engine) {
+// engineSeed is the rng seed shared by every random-scenario engine below:
+// executions built from the same topology seed are only comparable when
+// their engines also share this seed.
+const engineSeed = 99
+
+// buildScenario builds an n-node random deployment (drawn from the topology
+// seed) and an engine over it with the given config; fast selects the fast
+// evaluator instead of the naive reference path.
+func buildScenario(t *testing.T, n int, seed uint64, fast bool, cfg Config) ([]*randomNode, *Engine) {
 	t.Helper()
 	src := rng.New(seed)
 	pos := make([]geom.Point, n)
@@ -227,17 +234,27 @@ func buildRandomScenario(t *testing.T, n int, seed uint64, parallel bool) ([]*ra
 	if err != nil {
 		t.Fatal(err)
 	}
+	if fast {
+		cfg.Evaluator = sinr.NewFastChannel(ch)
+	}
 	nodes := make([]*randomNode, n)
 	ifaces := make([]Node, n)
 	for i := range nodes {
 		nodes[i] = &randomNode{p: 0.2}
 		ifaces[i] = nodes[i]
 	}
-	eng, err := NewEngine(ch, ifaces, Config{Seed: 99, Parallel: parallel, Workers: 4})
+	eng, err := NewEngine(ch, ifaces, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return nodes, eng
+}
+
+// buildRandomScenario builds an n-node random deployment with random
+// transmitter nodes for the parallel/sequential equivalence test.
+func buildRandomScenario(t *testing.T, n int, seed uint64, parallel bool) ([]*randomNode, *Engine) {
+	t.Helper()
+	return buildScenario(t, n, seed, false, Config{Seed: engineSeed, Parallel: parallel, Workers: 4})
 }
 
 func TestParallelMatchesSequential(t *testing.T) {
@@ -370,5 +387,83 @@ func BenchmarkEngineStepParallel200Nodes(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Step()
+	}
+}
+
+// fastScenario mirrors buildRandomScenario but runs the engine on the fast
+// evaluator with the given config.
+func fastScenario(t *testing.T, n int, seed uint64, cfg Config) ([]*randomNode, *Engine) {
+	t.Helper()
+	return buildScenario(t, n, seed, true, cfg)
+}
+
+// TestFastEvaluatorMatchesNaiveEngine runs the same random scenario on the
+// naive reference path and on the fast evaluator and requires identical
+// executions (stats and per-node traffic).
+func TestFastEvaluatorMatchesNaiveEngine(t *testing.T) {
+	naiveNodes, naiveEng := buildRandomScenario(t, 80, 9, false)
+	fastNodes, fastEng := fastScenario(t, 80, 9, Config{Seed: engineSeed, Workers: 4})
+	naiveEng.Run(300, nil)
+	fastEng.Run(300, nil)
+	if naiveEng.Stats() != fastEng.Stats() {
+		t.Fatalf("stats diverged: naive %+v, fast %+v", naiveEng.Stats(), fastEng.Stats())
+	}
+	for i := range naiveNodes {
+		if naiveNodes[i].sent != fastNodes[i].sent || naiveNodes[i].received != fastNodes[i].received {
+			t.Fatalf("node %d diverged: naive sent=%d recv=%d, fast sent=%d recv=%d",
+				i, naiveNodes[i].sent, naiveNodes[i].received, fastNodes[i].sent, fastNodes[i].received)
+		}
+	}
+}
+
+// TestSeedReproducibilityAcrossWorkers is the seed-reproducibility check:
+// with a fixed rng seed, Engine.Run yields identical Stats under a single
+// worker (sequential driver) and under GOMAXPROCS workers (parallel driver),
+// both on the fast evaluator.
+func TestSeedReproducibilityAcrossWorkers(t *testing.T) {
+	const n, slots = 70, 250
+	_, oneEng := fastScenario(t, n, 21, Config{Seed: 7, Workers: 1})
+	_, manyEng := fastScenario(t, n, 21, Config{Seed: 7, Parallel: true, Workers: runtime.GOMAXPROCS(0)})
+	oneEng.Run(slots, nil)
+	manyEng.Run(slots, nil)
+	if oneEng.Stats() != manyEng.Stats() {
+		t.Fatalf("stats diverged across worker counts: 1w %+v, %dw %+v",
+			oneEng.Stats(), runtime.GOMAXPROCS(0), manyEng.Stats())
+	}
+	if oneEng.Stats().Slots != slots {
+		t.Fatalf("ran %d slots, want %d", oneEng.Stats().Slots, slots)
+	}
+}
+
+// TestEvaluatorValidation checks that a mismatched evaluator is rejected and
+// that the default evaluator is the channel itself.
+func TestEvaluatorValidation(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	other, err := sinr.NewChannel(sinr.DefaultParams(10), []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(ch, []Node{&beaconNode{}, &beaconNode{}}, Config{Evaluator: sinr.NewFastChannel(other)}); err == nil {
+		t.Fatal("evaluator over a different deployment accepted")
+	}
+	// Same node count but a different channel object is also rejected.
+	sameSize := twoNodeChannel(t, 7)
+	if _, err := NewEngine(ch, []Node{&beaconNode{}, &beaconNode{}}, Config{Evaluator: sinr.NewFastChannel(sameSize)}); err == nil {
+		t.Fatal("evaluator wrapping a different same-size channel accepted")
+	}
+	eng, err := NewEngine(ch, []Node{&beaconNode{}, &beaconNode{}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Evaluator() != sinr.ChannelEvaluator(ch) {
+		t.Fatal("default evaluator is not the naive channel")
+	}
+	fast := sinr.NewFastChannel(ch)
+	eng, err = NewEngine(ch, []Node{&beaconNode{}, &beaconNode{}}, Config{Evaluator: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Evaluator() != sinr.ChannelEvaluator(fast) {
+		t.Fatal("explicit evaluator not selected")
 	}
 }

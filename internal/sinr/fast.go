@@ -1,0 +1,340 @@
+package sinr
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"sinrmac/internal/geom"
+)
+
+// DefaultMatrixThreshold is the largest deployment size for which
+// FastChannel precomputes the full n×n received-power matrix (n = 2048 uses
+// 32 MiB). Larger deployments use the spatial-grid far-field path instead.
+const DefaultMatrixThreshold = 2048
+
+// DefaultColumnCacheBytes is the default memory budget of the lazy
+// received-power column cache used above the matrix threshold: the first
+// time a node transmits, its power column (towards every receiver) is
+// computed once and retained, eliminating math.Pow from that sender's hot
+// path for the rest of the execution. A column costs 8n bytes, so 256 MiB
+// holds 32M/n columns: the full column set up to n ≈ 5.8k, half of it at
+// n ≈ 8k. Beyond the budget the earliest transmitters keep their columns
+// and later ones fall back to recomputation.
+const DefaultColumnCacheBytes = 256 << 20
+
+// cullSlack is the relative safety margin applied to the far-field culling
+// thresholds. Culling is only an optimisation: a sender is skipped by the
+// decode scan only when its received power provably cannot reach the SINR
+// threshold even with zero interference, and a receiver is skipped only when
+// no transmitter lies within the (slack-inflated) transmission range. The
+// margin keeps both shortcuts conservative under floating-point rounding, so
+// every borderline pair still goes through the exact reference arithmetic
+// and the fast evaluator stays bit-identical to the naive one.
+const cullSlack = 1e-9
+
+// FastOptions tunes a FastChannel. The zero value selects the defaults.
+type FastOptions struct {
+	// Workers bounds the number of goroutines evaluating receivers per slot.
+	// Zero or negative means GOMAXPROCS. sim.Engine overrides this with its
+	// own worker count via SetWorkers.
+	Workers int
+	// MatrixThreshold is the largest deployment size for which the full
+	// received-power matrix is cached. Zero means DefaultMatrixThreshold; a
+	// negative value disables the matrix entirely (forcing the grid path,
+	// which the differential tests use to exercise both paths at small n).
+	MatrixThreshold int
+	// ColumnCacheBytes bounds the memory of the grid path's lazy per-sender
+	// power-column cache. Zero means DefaultColumnCacheBytes; a negative
+	// value disables the cache (every power is recomputed each slot).
+	ColumnCacheBytes int64
+}
+
+// FastChannel is the scalable SINR slot evaluator. It produces receptions
+// bit-identical to Channel.SlotReceptions (the naive reference) while
+// avoiding its per-slot costs:
+//
+//   - all result and scratch storage lives in a per-channel arena that is
+//     reused across slots (no per-slot map or slice allocations);
+//   - for deployments up to MatrixThreshold nodes the received powers are
+//     precomputed once into an n×n matrix, eliminating every math.Pow from
+//     the slot path;
+//   - above the threshold a uniform spatial grid (internal/geom) buckets the
+//     deployment so that receivers with no transmitter inside the
+//     transmission range are culled before any interference is summed, and
+//     each remaining receiver computes every received power exactly once
+//     (the naive path computes each twice);
+//   - on the grid path a memory-bounded lazy cache keeps the power column
+//     of every node that has ever transmitted (positions are immutable, so
+//     the column never changes), removing math.Pow from the steady-state
+//     slot path entirely while ColumnCacheBytes lasts;
+//   - receivers are scanned by a bounded pool of worker goroutines; the
+//     partition is deterministic, so results are identical at any worker
+//     count.
+//
+// Culling never changes results: a sender whose lone-transmitter SINR is
+// below β cannot be decoded under any interference (the denominator only
+// grows), and both cull thresholds carry a conservative slack so borderline
+// pairs fall through to the exact reference arithmetic.
+//
+// The Reception slice returned by SlotReceptions is owned by the evaluator
+// and valid only until the next call; callers that retain it must copy.
+// SlotReceptions must not be called concurrently with itself.
+type FastChannel struct {
+	ch      *Channel
+	pos     []geom.Point
+	n       int
+	workers int
+
+	beta, noise float64
+	// cullPower is the received power below which a sender provably cannot
+	// be decoded; cullRadius is the distance beyond which received power is
+	// provably below cullPower. Both carry cullSlack.
+	cullPower  float64
+	cullRadius float64
+
+	mat  []float64  // n×n received-power matrix (mat[r*n+s]), nil in grid mode
+	grid *geom.Grid // all-node spatial index, nil in matrix mode
+
+	// Lazy column cache (grid mode): cols[s] is the received power of
+	// sender s at every node, filled the first time s transmits, up to
+	// colBudget columns. Columns are only written between parallel scans.
+	cols      [][]float64
+	colBudget int
+
+	out    []Reception
+	isTx   []bool
+	txPred func(id int) bool // reusable predicate over isTx for grid queries
+	rows   [][]float64       // per-worker received-power scratch (grid mode)
+	tx     []int             // transmitter set of the slot being evaluated
+}
+
+var _ ParallelEvaluator = (*FastChannel)(nil)
+
+// NewFastChannel returns a fast evaluator over the given channel. At most
+// one FastOptions value may be supplied; omitting it selects the defaults.
+func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
+	var opt FastOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	threshold := opt.MatrixThreshold
+	if threshold == 0 {
+		threshold = DefaultMatrixThreshold
+	}
+	n := c.NumNodes()
+	f := &FastChannel{
+		ch:        c,
+		pos:       c.pos,
+		n:         n,
+		workers:   opt.Workers,
+		beta:      c.params.Beta,
+		noise:     c.params.Noise,
+		cullPower: c.params.Beta * c.params.Noise * (1 - cullSlack),
+		out:       make([]Reception, n),
+		isTx:      make([]bool, n),
+	}
+	// Any sender within the near-field clamp distance (1) radiates maximum
+	// power, so the candidate radius never drops below it.
+	f.cullRadius = math.Max(c.params.Range(), 1) * (1 + cullSlack)
+	f.txPred = func(id int) bool { return f.isTx[id] }
+	if n <= threshold {
+		f.mat = buildPowerMatrix(c)
+	} else {
+		f.grid = geom.NewGrid(f.cullRadius)
+		for i, p := range f.pos {
+			f.grid.Insert(i, p)
+		}
+		budget := opt.ColumnCacheBytes
+		if budget == 0 {
+			budget = DefaultColumnCacheBytes
+		}
+		f.cols = make([][]float64, n)
+		if budget > 0 {
+			f.colBudget = int(budget / int64(8*n))
+		}
+	}
+	return f
+}
+
+// ensureColumns fills the power columns of any transmitter that does not
+// have one yet, while the cache budget lasts. It runs before the parallel
+// receiver scan, so the scan sees the cache as read-only.
+func (f *FastChannel) ensureColumns(tx []int) {
+	for _, s := range tx {
+		if f.cols[s] != nil || f.colBudget <= 0 {
+			continue
+		}
+		col := make([]float64, f.n)
+		ps := f.pos[s]
+		for r := range col {
+			col[r] = f.ch.params.ReceivedPower(ps.Dist(f.pos[r]))
+		}
+		f.cols[s] = col
+		f.colBudget--
+	}
+}
+
+// buildPowerMatrix precomputes ReceivedPower(Dist(s, r)) for every node
+// pair, exploiting symmetry to halve the math.Pow calls.
+func buildPowerMatrix(c *Channel) []float64 {
+	n := c.NumNodes()
+	mat := make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for s := r; s < n; s++ {
+			pw := c.params.ReceivedPower(c.Dist(s, r))
+			mat[r*n+s] = pw
+			mat[s*n+r] = pw
+		}
+	}
+	return mat
+}
+
+// Params implements ChannelEvaluator.
+func (f *FastChannel) Params() Params { return f.ch.Params() }
+
+// NumNodes implements ChannelEvaluator.
+func (f *FastChannel) NumNodes() int { return f.n }
+
+// Channel returns the underlying naive channel.
+func (f *FastChannel) Channel() *Channel { return f.ch }
+
+// SetWorkers implements ParallelEvaluator.
+func (f *FastChannel) SetWorkers(workers int) { f.workers = workers }
+
+// SlotReceptions implements ChannelEvaluator. The returned slice is reused
+// by the next call.
+func (f *FastChannel) SlotReceptions(transmitters []int) []Reception {
+	out := f.out
+	for i := range out {
+		out[i].Sender = -1
+	}
+	if len(transmitters) == 0 {
+		return out
+	}
+	for _, t := range transmitters {
+		f.isTx[t] = true
+	}
+	// Method expressions rather than closures keep the single-worker slot
+	// path allocation-free.
+	f.tx = transmitters
+	if f.mat != nil {
+		f.forEachReceiverChunk((*FastChannel).matrixChunk)
+	} else {
+		f.ensureColumns(transmitters)
+		f.forEachReceiverChunk((*FastChannel).gridChunk)
+	}
+	f.tx = nil
+	for _, t := range transmitters {
+		f.isTx[t] = false
+	}
+	return out
+}
+
+// matrixChunk evaluates receivers [lo, hi) against the cached power matrix.
+func (f *FastChannel) matrixChunk(lo, hi, _ int) {
+	tx := f.tx
+	for r := lo; r < hi; r++ {
+		if f.isTx[r] {
+			continue // half-duplex: a transmitting node cannot receive
+		}
+		row := f.mat[r*f.n : (r+1)*f.n]
+		total := 0.0
+		for _, s := range tx {
+			total += row[s]
+		}
+		for _, s := range tx {
+			signal := row[s]
+			if signal < f.cullPower {
+				continue // cannot meet β even without interference
+			}
+			if signal/(total-signal+f.noise) >= f.beta {
+				f.out[r].Sender = s
+				break
+			}
+		}
+	}
+}
+
+// gridChunk evaluates receivers [lo, hi) on the spatial-grid far-field
+// path: receivers with no transmitter within the transmission range are
+// culled outright, and the rest compute each received power exactly once
+// into the worker's scratch row.
+func (f *FastChannel) gridChunk(lo, hi, worker int) {
+	tx := f.tx
+	row := f.rows[worker]
+	if cap(row) < len(tx) {
+		row = make([]float64, len(tx))
+		f.rows[worker] = row
+	}
+	row = row[:len(tx)]
+	for r := lo; r < hi; r++ {
+		if f.isTx[r] {
+			continue
+		}
+		p := f.pos[r]
+		if !f.grid.AnyWithin(p, f.cullRadius, f.txPred) {
+			continue // far field: no transmitter can reach this receiver
+		}
+		total := 0.0
+		for j, s := range tx {
+			var pw float64
+			if col := f.cols[s]; col != nil {
+				pw = col[r]
+			} else {
+				pw = f.ch.params.ReceivedPower(f.pos[s].Dist(p))
+			}
+			row[j] = pw
+			total += pw
+		}
+		for j, s := range tx {
+			signal := row[j]
+			if signal < f.cullPower {
+				continue
+			}
+			if signal/(total-signal+f.noise) >= f.beta {
+				f.out[r].Sender = s
+				break
+			}
+		}
+	}
+}
+
+// forEachReceiverChunk partitions the receiver index space into contiguous
+// chunks and runs fn over them on up to f.workers goroutines. The partition
+// depends only on the deployment size and worker count, and chunks are
+// disjoint, so evaluation is deterministic and race-free.
+func (f *FastChannel) forEachReceiverChunk(fn func(f *FastChannel, lo, hi, worker int)) {
+	workers := f.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > f.n {
+		workers = f.n
+	}
+	if len(f.rows) < workers {
+		f.rows = append(f.rows, make([][]float64, workers-len(f.rows))...)
+	}
+	if workers <= 1 {
+		fn(f, 0, f.n, 0)
+		return
+	}
+	chunk := (f.n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > f.n {
+			hi = f.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			fn(f, lo, hi, w)
+		}(lo, hi, w)
+	}
+	wg.Wait()
+}

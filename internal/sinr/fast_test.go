@@ -1,0 +1,262 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sinrmac/internal/geom"
+	"sinrmac/internal/rng"
+)
+
+// fastVariants returns the fast-evaluator configurations the differential
+// tests exercise: the cached-matrix path and the spatial-grid far-field
+// path, each at one and several workers.
+func fastVariants(ch *Channel) map[string]*FastChannel {
+	return map[string]*FastChannel{
+		"matrix/1w":    NewFastChannel(ch, FastOptions{Workers: 1}),
+		"matrix/4w":    NewFastChannel(ch, FastOptions{Workers: 4}),
+		"grid/1w":      NewFastChannel(ch, FastOptions{Workers: 1, MatrixThreshold: -1}),
+		"grid/4w":      NewFastChannel(ch, FastOptions{Workers: 4, MatrixThreshold: -1}),
+		"grid/nocache": NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, ColumnCacheBytes: -1}),
+	}
+}
+
+// assertEquivalent checks every fast variant against the naive reference for
+// one transmitter set. The fast result must be bit-identical (Reception is a
+// sender index, so bit-identical means the same slice of ints). Passing the
+// same variants map across calls exercises warm scratch arenas and power
+// caches; passing nil builds fresh (cold) evaluators.
+func assertEquivalent(t *testing.T, ch *Channel, variants map[string]*FastChannel, tx []int, label string) {
+	t.Helper()
+	if variants == nil {
+		variants = fastVariants(ch)
+	}
+	want := ch.SlotReceptions(tx)
+	for name, fast := range variants {
+		got := fast.SlotReceptions(tx)
+		if len(got) != len(want) {
+			t.Fatalf("%s %s: %d receptions, want %d", label, name, len(got), len(want))
+		}
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("%s %s: node %d decoded sender %d, naive reference says %d (tx=%v)",
+					label, name, r, got[r].Sender, want[r].Sender, tx)
+			}
+		}
+	}
+}
+
+// TestSlotReceptionsEquivalence is the differential property test of the
+// fast evaluator: across three density regimes it draws random topologies
+// and random transmitter sets and requires both fast paths, at one and
+// several workers, to reproduce the naive reference exactly. Half-duplex is
+// exercised by every case in which a transmitter is also a potential
+// receiver; the all-transmit case makes it total.
+func TestSlotReceptionsEquivalence(t *testing.T) {
+	regimes := []struct {
+		name       string
+		sideFactor float64 // deployment side = sideFactor * sqrt(n)
+		txProb     float64
+	}{
+		{"sparse", 8, 0.05},
+		{"medium", 4, 0.2},
+		{"dense", 2, 0.5},
+	}
+	const casesPerRegime = 100
+	for _, reg := range regimes {
+		t.Run(reg.name, func(t *testing.T) {
+			src := rng.New(0xd1ff + uint64(len(reg.name)))
+			for c := 0; c < casesPerRegime; c++ {
+				n := 20 + src.Intn(100)
+				side := reg.sideFactor * math.Sqrt(float64(n))
+				pos := make([]geom.Point, n)
+				for i := range pos {
+					pos[i] = geom.Point{X: src.Float64() * side, Y: src.Float64() * side}
+				}
+				params := DefaultParams(5 + src.Float64()*20)
+				ch, err := NewChannel(params, pos)
+				if err != nil {
+					t.Fatal(err)
+				}
+				variants := fastVariants(ch)
+				label := fmt.Sprintf("case %d (n=%d)", c, n)
+				// Several independent transmitter sets over the same
+				// evaluators: the second and later slots run on warm
+				// scratch arenas and power caches.
+				for slot := 0; slot < 3; slot++ {
+					var tx []int
+					for i := 0; i < n; i++ {
+						if src.Bernoulli(reg.txProb) {
+							tx = append(tx, i)
+						}
+					}
+					assertEquivalent(t, ch, variants, tx, fmt.Sprintf("%s slot %d (k=%d)", label, slot, len(tx)))
+				}
+				// The same deployment with everyone transmitting: pure
+				// half-duplex, nothing may be decoded anywhere.
+				all := make([]int, n)
+				for i := range all {
+					all[i] = i
+				}
+				assertEquivalent(t, ch, variants, all, label+" all-tx")
+			}
+		})
+	}
+}
+
+// TestSlotReceptionsEquivalenceThreshold pins the β-threshold and near-field
+// edge cases: receivers exactly at, just inside and just outside the
+// transmission range R, coincident nodes inside the near-field clamp, and a
+// symmetric-interference tie. These are the cases the far-field culling
+// slack exists for.
+func TestSlotReceptionsEquivalenceThreshold(t *testing.T) {
+	p := DefaultParams(10)
+	r := p.Range()
+	cases := []struct {
+		name string
+		pos  []geom.Point
+		tx   []int
+	}{
+		{"exactly-at-range", []geom.Point{{X: 0, Y: 0}, {X: r, Y: 0}}, []int{0}},
+		{"just-inside", []geom.Point{{X: 0, Y: 0}, {X: r * 0.999999, Y: 0}}, []int{0}},
+		{"just-outside", []geom.Point{{X: 0, Y: 0}, {X: r * 1.000001, Y: 0}}, []int{0}},
+		{"range-ring", []geom.Point{
+			{X: 0, Y: 0}, {X: r, Y: 0}, {X: -r, Y: 0}, {X: 0, Y: r}, {X: 0, Y: -r},
+		}, []int{0}},
+		{"near-field-clamp", []geom.Point{{X: 0, Y: 0}, {X: 0.25, Y: 0}, {X: 0.5, Y: 0}}, []int{0}},
+		{"coincident-nodes", []geom.Point{{X: 3, Y: 3}, {X: 3, Y: 3}, {X: 5, Y: 3}}, []int{0}},
+		{"symmetric-tie", []geom.Point{{X: -3, Y: 0}, {X: 3, Y: 0}, {X: 0, Y: 0}}, []int{0, 1}},
+		{"half-duplex-pair", []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}}, []int{0, 1}},
+		{"strong-range-line", []geom.Point{
+			{X: 0, Y: 0}, {X: p.StrongRange(), Y: 0}, {X: 2 * p.StrongRange(), Y: 0},
+		}, []int{0, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ch, err := NewChannel(p, tc.pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEquivalent(t, ch, nil, tc.tx, tc.name)
+		})
+	}
+}
+
+// TestFastChannelSubRangeDeployment covers the degenerate parameter corner
+// where the transmission range is below the near-field clamp distance: the
+// candidate radius must not collapse below 1.
+func TestFastChannelSubRangeDeployment(t *testing.T) {
+	p := DefaultParams(0.9)
+	ch, err := NewChannel(p, []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 2, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, ch, nil, []int{0}, "sub-range")
+	assertEquivalent(t, ch, nil, []int{0, 2}, "sub-range-two")
+}
+
+// TestFastChannelEmptyAndAccessors checks the trivial paths and the
+// evaluator accessors.
+func TestFastChannelEmptyAndAccessors(t *testing.T) {
+	ch, err := NewChannel(DefaultParams(10), []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFastChannel(ch)
+	if f.Params() != ch.Params() {
+		t.Fatal("Params mismatch")
+	}
+	if f.NumNodes() != ch.NumNodes() {
+		t.Fatal("NumNodes mismatch")
+	}
+	if f.Channel() != ch {
+		t.Fatal("Channel accessor mismatch")
+	}
+	rec := f.SlotReceptions(nil)
+	for i, r := range rec {
+		if r.Sender != -1 {
+			t.Fatalf("node %d decoded %d with no transmitters", i, r.Sender)
+		}
+	}
+}
+
+// TestFastChannelReusesOutput documents the arena contract: the slice
+// returned by one call is overwritten by the next.
+func TestFastChannelReusesOutput(t *testing.T) {
+	ch, err := NewChannel(DefaultParams(10), []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFastChannel(ch)
+	first := f.SlotReceptions([]int{0})
+	if first[1].Sender != 0 {
+		t.Fatalf("node 1 decoded %d, want 0", first[1].Sender)
+	}
+	second := f.SlotReceptions(nil)
+	if &first[0] != &second[0] {
+		t.Fatal("fast evaluator did not reuse its output arena")
+	}
+	if first[1].Sender != -1 {
+		t.Fatal("previous result not overwritten by the arena")
+	}
+}
+
+// TestFastChannelAllocFree verifies the arena property: after the first
+// call, slot evaluation performs no allocations (single-worker, both paths;
+// the multi-worker path allocates only goroutine bookkeeping).
+func TestFastChannelAllocFree(t *testing.T) {
+	src := rng.New(11)
+	pos := make([]geom.Point, 300)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * 80, Y: src.Float64() * 80}
+	}
+	ch, err := NewChannel(DefaultParams(12), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tx []int
+	for i := range pos {
+		if i%7 == 0 {
+			tx = append(tx, i)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		opt  FastOptions
+	}{
+		{"matrix", FastOptions{Workers: 1}},
+		{"grid", FastOptions{Workers: 1, MatrixThreshold: -1}},
+	} {
+		f := NewFastChannel(ch, tc.opt)
+		f.SlotReceptions(tx) // warm the scratch rows
+		allocs := testing.AllocsPerRun(20, func() { f.SlotReceptions(tx) })
+		if allocs != 0 {
+			t.Errorf("%s path allocates %.1f objects per slot, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkFastSlotReceptions200(b *testing.B) {
+	p := testParams()
+	src := rng.New(8)
+	pos := make([]geom.Point, 200)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * 60, Y: src.Float64() * 60}
+	}
+	ch, err := NewChannel(p, pos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tx []int
+	for i := range pos {
+		if i%5 == 0 {
+			tx = append(tx, i)
+		}
+	}
+	f := NewFastChannel(ch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SlotReceptions(tx)
+	}
+}

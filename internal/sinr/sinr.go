@@ -195,6 +195,41 @@ type Reception struct {
 	Sender int
 }
 
+// ChannelEvaluator evaluates the SINR reception predicate for one
+// communication slot. Two implementations exist: the naive reference scan on
+// *Channel itself and the arena-backed, worker-parallel *FastChannel. Both
+// produce identical Reception slices for the same deployment and transmitter
+// set; the differential test harness (TestSlotReceptionsEquivalence) keeps
+// them in lock-step.
+//
+// Callers select a path explicitly: simulation drivers that only need the
+// reference semantics pass the *Channel, performance-sensitive drivers wrap
+// it with NewFastChannel.
+type ChannelEvaluator interface {
+	// Params returns the physical-layer parameters of the deployment.
+	Params() Params
+	// NumNodes returns the deployment size.
+	NumNodes() int
+	// SlotReceptions evaluates one slot: given the transmitting node ids it
+	// returns, for every node, the sender it decodes (or -1). The returned
+	// slice is indexed by node id, has length NumNodes(), and is only
+	// guaranteed valid until the next SlotReceptions call (implementations
+	// may reuse it as scratch); callers that retain it must copy.
+	SlotReceptions(transmitters []int) []Reception
+}
+
+// ParallelEvaluator is implemented by evaluators whose receiver scan can run
+// on multiple goroutines. The simulation engine wires its worker count into
+// any evaluator implementing this interface.
+type ParallelEvaluator interface {
+	ChannelEvaluator
+	// SetWorkers bounds the number of goroutines used per slot evaluation.
+	// Zero or negative restores the default (GOMAXPROCS).
+	SetWorkers(workers int)
+}
+
+var _ ChannelEvaluator = (*Channel)(nil)
+
 // SlotReceptions evaluates one communication slot: given the set of
 // transmitting nodes, it returns for every node the sender it decodes (or
 // -1). Because β > 1, at most one sender can satisfy the SINR condition at
@@ -202,6 +237,11 @@ type Reception struct {
 // scans all transmitters and keeps the decodable one.
 //
 // The returned slice is indexed by node id and has length NumNodes().
+//
+// This is the naive O(n·k) reference evaluator: it allocates fresh result
+// and scratch storage on every call and recomputes every received power. It
+// is deliberately kept simple — FastChannel is differentially tested against
+// it — and remains the default path of sim.Engine.
 func (c *Channel) SlotReceptions(transmitters []int) []Reception {
 	out := make([]Reception, len(c.pos))
 	for i := range out {
