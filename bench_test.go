@@ -9,13 +9,11 @@
 package sinrmac_test
 
 import (
-	"math"
+	"fmt"
 	"strconv"
 	"testing"
 
 	"sinrmac/internal/exp"
-	"sinrmac/internal/geom"
-	"sinrmac/internal/rng"
 	"sinrmac/internal/sinr"
 )
 
@@ -102,26 +100,32 @@ func BenchmarkTable1Consensus(b *testing.B) {
 	runExperiment(b, exp.ConsensusScaling, 3, "slots/cons_at_max_diam")
 }
 
-// slotScenario builds the large-n channel-engine workload: n nodes at
-// constant density (the hardest regime for far-field culling — nearly every
-// receiver has transmitters in range) with 10% of the nodes transmitting.
+// BenchmarkSuiteQuick runs the entire E1–E7 quick-mode suite end to end at
+// one and eight trial workers. The tables are bit-identical across the two
+// (asserted by TestParallelTablesBitIdentical in internal/exp); only
+// wall-clock differs, so the sub-benchmark ratio is the scheduler's
+// speedup on the host. Use -benchtime=1x for a single timed suite run.
+func BenchmarkSuiteQuick(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := exp.Config{Seed: 1, Trials: 3, Quick: true, Workers: workers}
+				if _, err := exp.RunAll(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// slotScenario builds the large-n channel-engine workload via the shared
+// sinr.BenchWorkload definition (constant density, 10% transmitting), the
+// same regime cmd/macbench -json measures.
 func slotScenario(b *testing.B, n int) (*sinr.Channel, []int) {
 	b.Helper()
-	src := rng.New(8)
-	side := 4 * math.Sqrt(float64(n))
-	pos := make([]geom.Point, n)
-	for i := range pos {
-		pos[i] = geom.Point{X: src.Float64() * side, Y: src.Float64() * side}
-	}
-	ch, err := sinr.NewChannel(sinr.DefaultParams(12), pos)
+	ch, tx, err := sinr.BenchWorkload(n, 8)
 	if err != nil {
 		b.Fatal(err)
-	}
-	var tx []int
-	for i := range pos {
-		if i%10 == 0 {
-			tx = append(tx, i)
-		}
 	}
 	return ch, tx
 }

@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-exp name|all] [-quick] [-seed N] [-trials N] [-o file]
+//	experiments [-exp name|all] [-quick] [-seed N] [-trials N] [-workers N] [-o file]
 //
 // Experiment names: ack, proglb, approg, decay, smb, mmb, cons.
+//
+// Trials fan out across -workers concurrent workers (0 = GOMAXPROCS). The
+// tables are bit-identical at every worker count: all randomness is derived
+// from (seed, experiment, point, trial) labels, never from execution order.
 package main
 
 import (
@@ -28,11 +32,12 @@ func run() int {
 		quick   = flag.Bool("quick", false, "shrink all sweeps so the suite finishes in seconds")
 		seed    = flag.Uint64("seed", 1, "random seed for deployments and simulations")
 		trials  = flag.Int("trials", 0, "repetitions per data point (0 = per-experiment default)")
+		workers = flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS, 1 = sequential; tables are identical at any count)")
 		outPath = flag.String("o", "", "also write the tables to this file")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
 
 	var tables []exp.Table
 	if *expName == "all" {

@@ -7,12 +7,21 @@
 // The output justifies the defaults used by the experiment harness and
 // shows how the epoch structure trades discovery reliability against data
 // throughput.
+//
+// With -json the command instead benchmarks the SINR slot hot path (naive
+// reference vs fast evaluator, matrix and grid regimes) via
+// testing.Benchmark and writes the measurements — ns/op, allocs/op and the
+// speedup over the naive path — to BENCH_macbench.json, so the performance
+// trajectory stays machine-readable across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 
 	"sinrmac/internal/approgress"
 	"sinrmac/internal/core"
@@ -41,11 +50,16 @@ func main() {
 
 func run() int {
 	var (
-		nodes  = flag.Int("n", 24, "cluster size (the listener plus n-1 broadcasters)")
-		trials = flag.Int("trials", 3, "trials per configuration")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		nodes    = flag.Int("n", 24, "cluster size (the listener plus n-1 broadcasters)")
+		trials   = flag.Int("trials", 3, "trials per configuration")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		jsonMode = flag.Bool("json", false, "benchmark the SINR slot path and write BENCH_macbench.json instead of the ablation sweeps")
 	)
 	flag.Parse()
+
+	if *jsonMode {
+		return runJSONBench(*seed)
+	}
 
 	fmt.Printf("ablation workload: one cluster of %d nodes, %d broadcasters, listener = node 0\n\n", *nodes, *nodes-1)
 
@@ -96,6 +110,97 @@ func run() int {
 		}
 		fmt.Println()
 	}
+	return 0
+}
+
+// benchCase is one measured slot-path configuration in BENCH_macbench.json.
+type benchCase struct {
+	// Name identifies the regime: "matrix" (n below the power-matrix
+	// threshold) or "grid" (spatial-grid far-field path).
+	Name string `json:"name"`
+	// Nodes and Transmitters describe the workload.
+	Nodes        int `json:"nodes"`
+	Transmitters int `json:"transmitters"`
+	// Naive and Fast are the per-slot cost of the reference and fast
+	// evaluators.
+	NaiveNsPerOp     float64 `json:"naive_ns_per_op"`
+	NaiveAllocsPerOp int64   `json:"naive_allocs_per_op"`
+	FastNsPerOp      float64 `json:"fast_ns_per_op"`
+	FastAllocsPerOp  int64   `json:"fast_allocs_per_op"`
+	// SpeedupVsNaive is NaiveNsPerOp / FastNsPerOp.
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+}
+
+// benchReport is the top-level BENCH_macbench.json document.
+type benchReport struct {
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Seed       uint64      `json:"seed"`
+	Cases      []benchCase `json:"cases"`
+}
+
+// benchFile is where runJSONBench writes its report.
+const benchFile = "BENCH_macbench.json"
+
+// runJSONBench measures the naive and fast slot evaluators in both cache
+// regimes via testing.Benchmark and writes the report to BENCH_macbench.json.
+func runJSONBench(seed uint64) int {
+	regimes := []struct {
+		name string
+		n    int
+	}{
+		// Below sinr.DefaultMatrixThreshold the fast path serves slots from
+		// the precomputed power matrix; above it, from the spatial grid with
+		// the lazy column cache.
+		{"matrix", 1000},
+		{"grid", 4000},
+	}
+	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Seed: seed}
+	for _, reg := range regimes {
+		ch, tx, err := sinr.BenchWorkload(reg.n, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+			return 1
+		}
+		naive := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ch.SlotReceptions(tx)
+			}
+		})
+		fast := sinr.NewFastChannel(ch)
+		fast.SlotReceptions(tx) // warm the power cache like a running simulation
+		fastRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fast.SlotReceptions(tx)
+			}
+		})
+		c := benchCase{
+			Name:             reg.name,
+			Nodes:            reg.n,
+			Transmitters:     len(tx),
+			NaiveNsPerOp:     float64(naive.NsPerOp()),
+			NaiveAllocsPerOp: naive.AllocsPerOp(),
+			FastNsPerOp:      float64(fastRes.NsPerOp()),
+			FastAllocsPerOp:  fastRes.AllocsPerOp(),
+		}
+		if c.FastNsPerOp > 0 {
+			c.SpeedupVsNaive = c.NaiveNsPerOp / c.FastNsPerOp
+		}
+		report.Cases = append(report.Cases, c)
+		fmt.Printf("%-7s n=%-5d k=%-4d naive %12.0f ns/op (%d allocs)  fast %10.0f ns/op (%d allocs)  speedup %.1fx\n",
+			reg.name, c.Nodes, c.Transmitters, c.NaiveNsPerOp, c.NaiveAllocsPerOp, c.FastNsPerOp, c.FastAllocsPerOp, c.SpeedupVsNaive)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "macbench: writing %s: %v\n", benchFile, err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", benchFile)
 	return 0
 }
 

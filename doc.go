@@ -37,8 +37,34 @@
 // (internal/exp), cmd/macbench and cmd/sinrsim use the fast engine, while
 // unit tests exercising channel semantics keep the reference path.
 //
+// # Parallel experiment scheduler
+//
+// The experiment harness (internal/exp) runs every sweep as a grid of
+// (point × trial) jobs fanned across a bounded worker pool, with a
+// determinism contract: the emitted tables are bit-identical at every
+// worker count. Two mechanisms make that hold:
+//
+//   - Label-derived seeding. Every random stream is a pure function of
+//     (Config.Seed, experiment, point, trial), derived with
+//     rng.Source.SplitLabeled chains (rng.Label hashes the experiment
+//     name) instead of loop-carried seeds, so no stream depends on
+//     scheduling order. Results are merged into canonical [point][trial]
+//     order before any aggregation.
+//   - Fixed-cost reuse. Each sweep point's deployment — with its strong
+//     graph, Λ and the fast evaluator's n×n power matrix — is built once
+//     and shared by all trials (topology.Deployment caches the derived
+//     quantities; sinr.FastChannel.Fork shares the immutable matrix with
+//     private scratch). Each worker keeps one engine per point and rewinds
+//     it with sim.Engine.Reset instead of reallocating.
+//
+// TestParallelTablesBitIdentical asserts the contract differentially
+// (1 worker vs 8), and BenchmarkSuiteQuick times the full E1–E7 suite at
+// both worker counts; cmd/experiments exposes the pool via -workers.
+//
 // Runnable entry points are provided under cmd/ and examples/; the
 // top-level benchmark suite (bench_test.go) regenerates every table and
 // figure via `go test -bench=.` and compares the two evaluators at
-// n = 1k/5k/10k via BenchmarkSlotReceptions.
+// n = 1k/5k/10k via BenchmarkSlotReceptions. cmd/macbench -json writes the
+// slot-path measurements (ns/op, allocs/op, speedup vs naive) to
+// BENCH_macbench.json for cross-PR tracking.
 package sinrmac

@@ -18,6 +18,21 @@
 //
 // Each experiment returns a Table whose rows are also what
 // cmd/experiments prints and what EXPERIMENTS.md records.
+//
+// # Parallel scheduling and determinism
+//
+// Every experiment is a sweep of (point × trial) jobs executed by the
+// deterministic parallel scheduler in sched.go (runTrials). Jobs fan out
+// across Config.Workers workers; each sweep point's deployment — and with
+// it the strong graph, Λ and the fast evaluator's power matrix — is built
+// once and shared by all trials, while each worker keeps a private
+// evaluator fork and a reusable engine per point (sim.Engine.Reset).
+//
+// All randomness is derived from (Config.Seed, experiment, point, trial)
+// labels via rng.Source.SplitLabeled, never from loop-carried seeds, and
+// results are merged in canonical sweep order. The determinism contract:
+// the same Config emits bit-identical tables at every worker count,
+// asserted by TestParallelTablesBitIdentical.
 package exp
 
 import (
@@ -32,11 +47,20 @@ type Config struct {
 	// identical tables.
 	Seed uint64
 	// Trials is the number of independent repetitions averaged per data
-	// point. Zero means the per-experiment default.
+	// point. Zero means the per-experiment default. Trials of one sweep
+	// point share that point's deployment and vary only the protocol
+	// randomness (see the sampling-semantics note in sched.go); the
+	// deployment itself is redrawn per sweep point.
 	Trials int
 	// Quick shrinks every sweep to its smallest sizes so the whole suite
 	// finishes in seconds. Used by unit tests and the -quick flag.
 	Quick bool
+	// Workers bounds the number of concurrent trial workers the parallel
+	// scheduler (runTrials) fans (point × trial) jobs across. Zero means
+	// GOMAXPROCS; one forces the sequential path. Every random stream is
+	// derived from (Seed, experiment, point, trial) labels, so the emitted
+	// tables are bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments.

@@ -61,6 +61,33 @@ func TestDefaultConfig(t *testing.T) {
 	}
 }
 
+// TestParallelTablesBitIdentical is the differential test of the parallel
+// scheduler's determinism contract: every E1–E7 table rendered with eight
+// workers must be byte-identical to the sequential (one-worker) harness.
+// Under -race this doubles as the race-detector run of the scheduler: eight
+// workers share deployments, strong graphs and evaluator matrices while the
+// jobs execute concurrently.
+func TestParallelTablesBitIdentical(t *testing.T) {
+	render := func(workers int) string {
+		cfg := Config{Seed: 7, Trials: 2, Quick: true, Workers: workers}
+		tables, err := RunAll(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var b strings.Builder
+		for _, table := range tables {
+			b.WriteString(table.Format())
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("tables diverged between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+	}
+}
+
 // parseFloat pulls a numeric cell out of a table row.
 func parseFloat(t *testing.T, cell string) float64 {
 	t.Helper()

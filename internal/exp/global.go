@@ -24,9 +24,9 @@ const globalRange = 12
 
 // buildUniform builds a connected uniform deployment of n nodes with
 // roughly constant density, so the diameter grows with sqrt(n).
-func buildUniform(n int, seed uint64) (*topology.Deployment, error) {
+func buildUniform(n int, src *rng.Source) (*topology.Deployment, error) {
 	side := 2.2 * math.Sqrt(float64(n)) * 2
-	return topology.ConnectedUniform(n, side, sinr.DefaultParams(globalRange), rng.New(seed), 100)
+	return topology.ConnectedUniform(n, side, sinr.DefaultParams(globalRange), src, 100)
 }
 
 // combinedMACConfig returns the Algorithm 11.1 configuration used by the
@@ -44,8 +44,9 @@ func combinedMACConfig(lambda float64) mac.Config {
 
 // runBMMBOverMACs wires one BMMB layer per node over the MAC nodes produced
 // by newMAC, starts the given messages at their origins and returns the
-// global completion slot (or the deadline if incomplete).
-func runBMMBOverMACs(d *topology.Deployment, msgs []core.Message, seed uint64, deadline int64,
+// global completion slot (or the deadline if incomplete). It runs on the
+// trial's reusable engine.
+func runBMMBOverMACs(tc *TrialContext, d *topology.Deployment, msgs []core.Message, deadline int64,
 	newMAC func(i int) sim.Node, attach func(n sim.Node, l core.Layer)) (float64, bool, error) {
 
 	layers := make([]*bcastproto.BMMB, d.NumNodes())
@@ -62,7 +63,7 @@ func runBMMBOverMACs(d *topology.Deployment, msgs []core.Message, seed uint64, d
 		attach(n, layers[i])
 		nodes[i] = n
 	}
-	eng, err := newEngine(d, nodes, seed)
+	eng, err := tc.Engine(nodes)
 	if err != nil {
 		return 0, false, err
 	}
@@ -77,7 +78,7 @@ func runBMMBOverMACs(d *topology.Deployment, msgs []core.Message, seed uint64, d
 
 // runDirectSMB runs the Daum et al. [14]-style direct broadcast: relay
 // layers over progress-only nodes with w.h.p. parameters (ε = 1/n).
-func runDirectSMB(d *topology.Deployment, msg core.Message, seed uint64, deadline int64) (float64, bool, error) {
+func runDirectSMB(tc *TrialContext, d *topology.Deployment, msg core.Message, deadline int64) (float64, bool, error) {
 	apCfg := approgress.DefaultConfig(d.Lambda(), 1/float64(d.NumNodes()), 3)
 	apCfg.QScale = 0.25
 	apCfg.TFactor = 3
@@ -97,7 +98,7 @@ func runDirectSMB(d *topology.Deployment, msg core.Message, seed uint64, deadlin
 		n.SetLayer(layers[i])
 		nodes[i] = n
 	}
-	eng, err := newEngine(d, nodes, seed)
+	eng, err := tc.Engine(nodes)
 	if err != nil {
 		return 0, false, err
 	}
@@ -110,6 +111,14 @@ func runDirectSMB(d *topology.Deployment, msg core.Message, seed uint64, deadlin
 		return float64(deadline), false, nil
 	}
 	return float64(slot), true, nil
+}
+
+// smbTrialResult is one E5 trial: the completion slot of each broadcast
+// strategy plus the point's deployment statistics.
+type smbTrialResult struct {
+	ours, daum, decay float64
+	diam, delta       int
+	lambda            float64
 }
 
 // SMBComparison is experiment E5-smb: global single-message broadcast with
@@ -129,49 +138,57 @@ func SMBComparison(cfg Config) (Table, error) {
 	}
 	trials := cfg.trials(2)
 
-	var diams, ours []float64
-	for _, n := range sizes {
-		var oursLat, daumLat, decayLat []float64
-		var diam, delta int
-		var lambda float64
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + uint64(n*131+trial)
-			d, err := buildUniform(n, seed)
-			if err != nil {
-				return table, err
-			}
-			strong := d.StrongGraph()
-			diam = strong.Diameter()
-			delta = strong.MaxDegree()
-			lambda = d.Lambda()
-			msg := core.Message{ID: 1, Origin: 0, Payload: "smb"}
-
-			macCfg := combinedMACConfig(lambda)
-			rec := core.NewRecorder()
-			deadline := int64(core.TheoreticalFack(delta, lambda, 0.1)) * int64(diam+5) * 50
-			t1, _, err := runBMMBOverMACs(d, []core.Message{msg}, seed, deadline,
-				func(i int) sim.Node { return mac.New(macCfg, rec) },
-				func(node sim.Node, l core.Layer) { node.(*mac.Node).SetLayer(l) })
-			if err != nil {
-				return table, err
-			}
-			oursLat = append(oursLat, t1)
-
-			t2, _, err := runDirectSMB(d, msg, seed, deadline)
-			if err != nil {
-				return table, err
-			}
-			daumLat = append(daumLat, t2)
-
-			dcCfg := decay.DefaultConfig(float64(n), 0.1)
-			t3, _, err := runBMMBOverMACs(d, []core.Message{msg}, seed, deadline,
-				func(i int) sim.Node { return decay.New(dcCfg, nil) },
-				func(node sim.Node, l core.Layer) { node.(interface{ SetLayer(core.Layer) }).SetLayer(l) })
-			if err != nil {
-				return table, err
-			}
-			decayLat = append(decayLat, t3)
+	res, err := runTrials(cfg, "E5-smb", len(sizes), trials, func(tc *TrialContext) (smbTrialResult, error) {
+		n := sizes[tc.Point]
+		d, err := tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
+			return buildUniform(n, src)
+		})
+		if err != nil {
+			return smbTrialResult{}, err
 		}
+		strong := d.StrongGraph()
+		diam := strong.Diameter()
+		delta := strong.MaxDegree()
+		lambda := d.Lambda()
+		msg := core.Message{ID: 1, Origin: 0, Payload: "smb"}
+
+		macCfg := combinedMACConfig(lambda)
+		rec := core.NewRecorder()
+		deadline := int64(core.TheoreticalFack(delta, lambda, 0.1)) * int64(diam+5) * 50
+		t1, _, err := runBMMBOverMACs(tc, d, []core.Message{msg}, deadline,
+			func(i int) sim.Node { return mac.New(macCfg, rec) },
+			func(node sim.Node, l core.Layer) { node.(*mac.Node).SetLayer(l) })
+		if err != nil {
+			return smbTrialResult{}, err
+		}
+
+		t2, _, err := runDirectSMB(tc, d, msg, deadline)
+		if err != nil {
+			return smbTrialResult{}, err
+		}
+
+		dcCfg := decay.DefaultConfig(float64(n), 0.1)
+		t3, _, err := runBMMBOverMACs(tc, d, []core.Message{msg}, deadline,
+			func(i int) sim.Node { return decay.New(dcCfg, nil) },
+			func(node sim.Node, l core.Layer) { node.(interface{ SetLayer(core.Layer) }).SetLayer(l) })
+		if err != nil {
+			return smbTrialResult{}, err
+		}
+		return smbTrialResult{ours: t1, daum: t2, decay: t3, diam: diam, delta: delta, lambda: lambda}, nil
+	})
+	if err != nil {
+		return table, err
+	}
+
+	var diams, ours []float64
+	for pi, n := range sizes {
+		var oursLat, daumLat, decayLat []float64
+		for _, r := range res[pi] {
+			oursLat = append(oursLat, r.ours)
+			daumLat = append(daumLat, r.daum)
+			decayLat = append(decayLat, r.decay)
+		}
+		diam, delta, lambda := res[pi][0].diam, res[pi][0].delta, res[pi][0].lambda
 		theory := core.TheoreticalSMB(diam, n, lambda, 3, 0.1)
 		table.AddRow(n, diam, delta, lambda,
 			stats.Median(oursLat), stats.Median(daumLat), stats.Median(decayLat), theory)
@@ -184,6 +201,14 @@ func SMBComparison(cfg Config) (Table, error) {
 		}
 	}
 	return table, nil
+}
+
+// mmbTrialResult is one E6 trial: completion slots for the MAC-based and
+// Decay-flooding strategies plus the point's deployment statistics.
+type mmbTrialResult struct {
+	ours, decay float64
+	diam        int
+	lambda      float64
 }
 
 // MMBScaling is experiment E6-mmb: global multi-message broadcast cost as a
@@ -206,45 +231,52 @@ func MMBScaling(cfg Config) (Table, error) {
 	}
 	trials := cfg.trials(2)
 
-	var xs, ys []float64
-	for _, k := range ks {
-		var oursLat, decayLat []float64
-		var diam int
-		var lambda float64
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + uint64(k*709+trial)
-			d, err := buildUniform(n, seed)
-			if err != nil {
-				return table, err
-			}
-			diam = d.StrongGraph().Diameter()
-			lambda = d.Lambda()
-			src := rng.New(seed ^ 0xabcdef)
-			msgs := make([]core.Message, k)
-			for i := range msgs {
-				msgs[i] = core.Message{ID: core.MessageID(100 + i), Origin: src.Intn(n), Payload: i}
-			}
-
-			macCfg := combinedMACConfig(lambda)
-			delta := d.StrongGraph().MaxDegree()
-			deadline := int64(core.TheoreticalFack(delta, lambda, 0.1)) * int64(diam+5+3*k) * 50
-			t1, _, err := runBMMBOverMACs(d, msgs, seed, deadline,
-				func(i int) sim.Node { return mac.New(macCfg, nil) },
-				func(node sim.Node, l core.Layer) { node.(*mac.Node).SetLayer(l) })
-			if err != nil {
-				return table, err
-			}
-			oursLat = append(oursLat, t1)
-
-			dcCfg := decay.DefaultConfig(float64(n), 0.1)
-			t2, _, err := runBMMBOverMACs(d, msgs, seed, deadline,
-				func(i int) sim.Node { return decay.New(dcCfg, nil) },
-				func(node sim.Node, l core.Layer) { node.(interface{ SetLayer(core.Layer) }).SetLayer(l) })
-			if err != nil {
-				return table, err
-			}
-			decayLat = append(decayLat, t2)
+	res, err := runTrials(cfg, "E6-mmb", len(ks), trials, func(tc *TrialContext) (mmbTrialResult, error) {
+		k := ks[tc.Point]
+		d, err := tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
+			return buildUniform(n, src)
+		})
+		if err != nil {
+			return mmbTrialResult{}, err
 		}
+		diam := d.StrongGraph().Diameter()
+		lambda := d.Lambda()
+		msgs := make([]core.Message, k)
+		for i := range msgs {
+			msgs[i] = core.Message{ID: core.MessageID(100 + i), Origin: tc.Src.Intn(n), Payload: i}
+		}
+
+		macCfg := combinedMACConfig(lambda)
+		delta := d.StrongGraph().MaxDegree()
+		deadline := int64(core.TheoreticalFack(delta, lambda, 0.1)) * int64(diam+5+3*k) * 50
+		t1, _, err := runBMMBOverMACs(tc, d, msgs, deadline,
+			func(i int) sim.Node { return mac.New(macCfg, nil) },
+			func(node sim.Node, l core.Layer) { node.(*mac.Node).SetLayer(l) })
+		if err != nil {
+			return mmbTrialResult{}, err
+		}
+
+		dcCfg := decay.DefaultConfig(float64(n), 0.1)
+		t2, _, err := runBMMBOverMACs(tc, d, msgs, deadline,
+			func(i int) sim.Node { return decay.New(dcCfg, nil) },
+			func(node sim.Node, l core.Layer) { node.(interface{ SetLayer(core.Layer) }).SetLayer(l) })
+		if err != nil {
+			return mmbTrialResult{}, err
+		}
+		return mmbTrialResult{ours: t1, decay: t2, diam: diam, lambda: lambda}, nil
+	})
+	if err != nil {
+		return table, err
+	}
+
+	var xs, ys []float64
+	for pi, k := range ks {
+		var oursLat, decayLat []float64
+		for _, r := range res[pi] {
+			oursLat = append(oursLat, r.ours)
+			decayLat = append(decayLat, r.decay)
+		}
+		diam, lambda := res[pi][0].diam, res[pi][0].lambda
 		theory := core.TheoreticalMMB(diam, 8, n, k, lambda, 3, 0.1)
 		table.AddRow(k, n, diam, stats.Median(oursLat), stats.Median(decayLat), theory)
 		xs = append(xs, float64(k))
@@ -256,6 +288,15 @@ func MMBScaling(cfg Config) (Table, error) {
 		}
 	}
 	return table, nil
+}
+
+// consTrialResult is one E7 trial: the decision slot, whether agreement
+// held, and the point's deployment statistics.
+type consTrialResult struct {
+	slot        float64
+	agreement   bool
+	diam, delta int
+	lambda      float64
 }
 
 // ConsensusScaling is experiment E7-cons: network-wide consensus completion
@@ -275,62 +316,70 @@ func ConsensusScaling(cfg Config) (Table, error) {
 	trials := cfg.trials(2)
 	const epsAck = 0.05
 
+	res, err := runTrials(cfg, "E7-cons", len(sizes), trials, func(tc *TrialContext) (consTrialResult, error) {
+		n := sizes[tc.Point]
+		d, err := tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
+			return topology.Line(n, 4, sinr.DefaultParams(globalRange))
+		})
+		if err != nil {
+			return consTrialResult{}, err
+		}
+		strong := d.StrongGraph()
+		diam := strong.Diameter()
+		delta := strong.MaxDegree()
+		lambda := d.Lambda()
+
+		macCfg := hmbcast.DefaultConfig(lambda, epsAck)
+		macCfg.StepFactor = 1
+		macCfg.HaltFactor = 4
+
+		initials := make([]consensus.Value, n)
+		for i := range initials {
+			initials[i] = consensus.Value(uint8(tc.Src.Intn(2)))
+		}
+		layers := make([]*consensus.Node, n)
+		nodes := make([]sim.Node, n)
+		for i := range nodes {
+			l, err := consensus.New(consensus.Config{Rounds: diam + 2}, initials[i])
+			if err != nil {
+				return consTrialResult{}, err
+			}
+			layers[i] = l
+			node := hmbcast.New(macCfg, nil)
+			node.SetLayer(l)
+			nodes[i] = node
+		}
+		eng, err := tc.Engine(nodes)
+		if err != nil {
+			return consTrialResult{}, err
+		}
+		deadline := int64(core.TheoreticalFack(delta, lambda, epsAck)) * int64(diam+4) * 200
+		eng.Run(deadline, func() bool {
+			_, done := consensus.DecisionSlot(layers)
+			return done
+		})
+		slot, done := consensus.DecisionSlot(layers)
+		if !done {
+			slot = deadline
+		}
+		agreement := consensus.CheckAgreement(layers, initials) == nil
+		return consTrialResult{slot: float64(slot), agreement: agreement, diam: diam, delta: delta, lambda: lambda}, nil
+	})
+	if err != nil {
+		return table, err
+	}
+
 	var diams, times []float64
-	for _, n := range sizes {
+	for pi, n := range sizes {
 		var lat []float64
-		var diam, delta int
-		var lambda float64
 		agreementOK := true
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + uint64(n*389+trial)
-			d, err := topology.Line(n, 4, sinr.DefaultParams(globalRange))
-			if err != nil {
-				return table, err
-			}
-			strong := d.StrongGraph()
-			diam = strong.Diameter()
-			delta = strong.MaxDegree()
-			lambda = d.Lambda()
-
-			macCfg := hmbcast.DefaultConfig(lambda, epsAck)
-			macCfg.StepFactor = 1
-			macCfg.HaltFactor = 4
-
-			initials := make([]consensus.Value, n)
-			src := rng.New(seed)
-			for i := range initials {
-				initials[i] = consensus.Value(uint8(src.Intn(2)))
-			}
-			layers := make([]*consensus.Node, n)
-			nodes := make([]sim.Node, n)
-			for i := range nodes {
-				l, err := consensus.New(consensus.Config{Rounds: diam + 2}, initials[i])
-				if err != nil {
-					return table, err
-				}
-				layers[i] = l
-				node := hmbcast.New(macCfg, nil)
-				node.SetLayer(l)
-				nodes[i] = node
-			}
-			eng, err := newEngine(d, nodes, seed)
-			if err != nil {
-				return table, err
-			}
-			deadline := int64(core.TheoreticalFack(delta, lambda, epsAck)) * int64(diam+4) * 200
-			eng.Run(deadline, func() bool {
-				_, done := consensus.DecisionSlot(layers)
-				return done
-			})
-			slot, done := consensus.DecisionSlot(layers)
-			if !done {
-				slot = deadline
-			}
-			if err := consensus.CheckAgreement(layers, initials); err != nil {
+		for _, r := range res[pi] {
+			lat = append(lat, r.slot)
+			if !r.agreement {
 				agreementOK = false
 			}
-			lat = append(lat, float64(slot))
 		}
+		diam, delta, lambda := res[pi][0].diam, res[pi][0].delta, res[pi][0].lambda
 		theory := core.TheoreticalCons(diam, delta, n, lambda, 0.1)
 		table.AddRow(n, diam, delta, stats.Median(lat), theory, fmt.Sprintf("%v", agreementOK))
 		diams = append(diams, float64(diam))

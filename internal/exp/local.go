@@ -59,8 +59,17 @@ func (l *listenerLayer) OnRcv(slot int64, m core.Message) {
 // buildClusterDeployment builds one dense cluster of n nodes under the
 // fixed cluster range, so that G_{1-ε} restricted to the cluster is a
 // clique of degree n-1.
-func buildClusterDeployment(n int, seed uint64) (*topology.Deployment, error) {
-	return topology.Clusters(1, n, sinr.DefaultParams(clusterRange), rng.New(seed))
+func buildClusterDeployment(n int, src *rng.Source) (*topology.Deployment, error) {
+	return topology.Clusters(1, n, sinr.DefaultParams(clusterRange), src)
+}
+
+// ackTrialResult is one E1 trial: the latency report of the acknowledgment
+// checker plus the point's Λ (shared by all trials of the point).
+type ackTrialResult struct {
+	mean, max             float64
+	violations, broadcast float64
+	unacked               float64
+	lambda                float64
 }
 
 // AckScaling is experiment E1-ack: the acknowledgment latency of the
@@ -80,48 +89,64 @@ func AckScaling(cfg Config) (Table, error) {
 	trials := cfg.trials(3)
 	const epsAck = 0.1
 
-	var xs, ys []float64
-	for _, delta := range deltas {
-		var maxLat, meanLat, violations, broadcasts, unacked float64
-		var lambda float64
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + uint64(delta*1000+trial)
-			d, err := buildClusterDeployment(delta+1, seed)
-			if err != nil {
-				return table, err
-			}
-			lambda = d.Lambda()
-			macCfg := hmbcast.DefaultConfig(lambda, epsAck)
-			rec := core.NewRecorder()
-			layers := make([]*broadcastAllLayer, d.NumNodes())
-			nodes := make([]sim.Node, d.NumNodes())
-			for i := range nodes {
-				n := hmbcast.New(macCfg, rec)
-				layers[i] = &broadcastAllLayer{msg: core.Message{ID: core.MessageID(i + 1), Origin: i}}
-				n.SetLayer(layers[i])
-				nodes[i] = n
-			}
-			eng, err := newEngine(d, nodes, seed)
-			if err != nil {
-				return table, err
-			}
-			deadline := int64(200 * core.TheoreticalFack(delta, lambda, epsAck))
-			eng.Run(deadline, func() bool {
-				for _, l := range layers {
-					if !l.acked {
-						return false
-					}
+	res, err := runTrials(cfg, "E1-ack", len(deltas), trials, func(tc *TrialContext) (ackTrialResult, error) {
+		delta := deltas[tc.Point]
+		d, err := tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
+			return buildClusterDeployment(delta+1, src)
+		})
+		if err != nil {
+			return ackTrialResult{}, err
+		}
+		lambda := d.Lambda()
+		macCfg := hmbcast.DefaultConfig(lambda, epsAck)
+		rec := core.NewRecorder()
+		layers := make([]*broadcastAllLayer, d.NumNodes())
+		nodes := make([]sim.Node, d.NumNodes())
+		for i := range nodes {
+			n := hmbcast.New(macCfg, rec)
+			layers[i] = &broadcastAllLayer{msg: core.Message{ID: core.MessageID(i + 1), Origin: i}}
+			n.SetLayer(layers[i])
+			nodes[i] = n
+		}
+		eng, err := tc.Engine(nodes)
+		if err != nil {
+			return ackTrialResult{}, err
+		}
+		deadline := int64(200 * core.TheoreticalFack(delta, lambda, epsAck))
+		eng.Run(deadline, func() bool {
+			for _, l := range layers {
+				if !l.acked {
+					return false
 				}
-				return true
-			})
-			rep := core.CheckAcks(rec.Events(), d.StrongGraph())
-			meanLat += rep.MeanLatency
-			if float64(rep.MaxLatency) > maxLat {
-				maxLat = float64(rep.MaxLatency)
 			}
-			violations += float64(rep.Violations)
-			broadcasts += float64(len(rep.Records))
-			unacked += float64(rep.Unacked)
+			return true
+		})
+		rep := core.CheckAcks(rec.Events(), d.StrongGraph())
+		return ackTrialResult{
+			mean:       rep.MeanLatency,
+			max:        float64(rep.MaxLatency),
+			violations: float64(rep.Violations),
+			broadcast:  float64(len(rep.Records)),
+			unacked:    float64(rep.Unacked),
+			lambda:     lambda,
+		}, nil
+	})
+	if err != nil {
+		return table, err
+	}
+
+	var xs, ys []float64
+	for pi, delta := range deltas {
+		var meanLat, maxLat, violations, broadcasts, unacked float64
+		lambda := res[pi][0].lambda
+		for _, r := range res[pi] {
+			meanLat += r.mean
+			if r.max > maxLat {
+				maxLat = r.max
+			}
+			violations += r.violations
+			broadcasts += r.broadcast
+			unacked += r.unacked
 		}
 		meanLat /= float64(trials)
 		violationRate := 0.0
@@ -139,6 +164,13 @@ func AckScaling(cfg Config) (Table, error) {
 	return table, nil
 }
 
+// proglbResult is one E2 sweep point: the concurrency certificate and the
+// optimal scheduler's slot count (the sweep is deterministic, one trial).
+type proglbResult struct {
+	maxConcurrent int
+	slots         int
+}
+
 // ProgressLowerBound is experiment E2-proglb: the Figure 1 / Theorem 6.1
 // construction, showing that even an optimal centralized scheduler needs at
 // least Δ slots before every receiver has made progress.
@@ -154,14 +186,16 @@ func ProgressLowerBound(cfg Config) (Table, error) {
 	if cfg.Quick {
 		deltas = []int{4, 8}
 	}
-	for _, delta := range deltas {
-		d, err := topology.ParallelLines(delta, 0.1)
-		if err != nil {
-			return table, err
+	res, err := runTrials(cfg, "E2-proglb", len(deltas), 1, func(tc *TrialContext) (proglbResult, error) {
+		delta := deltas[tc.Point]
+		if _, err := tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
+			return topology.ParallelLines(delta, 0.1)
+		}); err != nil {
+			return proglbResult{}, err
 		}
-		ch, err := d.Channel()
+		ch, err := tc.Channel()
 		if err != nil {
-			return table, err
+			return proglbResult{}, err
 		}
 		senders := topology.ParallelLinesSenders(delta)
 		receivers := topology.ParallelLinesReceivers(delta)
@@ -203,7 +237,7 @@ func ProgressLowerBound(cfg Config) (Table, error) {
 				}
 			}
 			if best < 0 {
-				return table, fmt.Errorf("exp: no schedulable cross link remains for delta=%d", delta)
+				return proglbResult{}, fmt.Errorf("exp: no schedulable cross link remains for delta=%d", delta)
 			}
 			served[best] = true
 			remaining--
@@ -220,7 +254,13 @@ func ProgressLowerBound(cfg Config) (Table, error) {
 				}
 			}
 		}
-		table.AddRow(delta, maxConcurrent, slots, delta)
+		return proglbResult{maxConcurrent: maxConcurrent, slots: slots}, nil
+	})
+	if err != nil {
+		return table, err
+	}
+	for pi, delta := range deltas {
+		table.AddRow(delta, res[pi][0].maxConcurrent, res[pi][0].slots, delta)
 	}
 	table.AddNote("scheduler_slots equals Δ for every Δ: f_prog ≥ Δ_{G_{1-ε}} as proven in Theorem 6.1")
 	return table, nil
@@ -235,6 +275,14 @@ func approgTestConfig(lambda float64) approgress.Config {
 	cfg.MISRounds = 4
 	cfg.DataFactor = 2
 	return cfg
+}
+
+// approgTrialResult is one E3 trial: the listener's first-reception slot
+// plus the point's Λ and epoch length.
+type approgTrialResult struct {
+	lat    float64
+	lambda float64
+	epoch  int64
 }
 
 // ApproxProgressScaling is experiment E3-approg: the time until a listener
@@ -254,45 +302,53 @@ func ApproxProgressScaling(cfg Config) (Table, error) {
 	}
 	trials := cfg.trials(3)
 
+	res, err := runTrials(cfg, "E3-approg", len(deltas), trials, func(tc *TrialContext) (approgTrialResult, error) {
+		delta := deltas[tc.Point]
+		d, err := tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
+			return buildClusterDeployment(delta+1, src)
+		})
+		if err != nil {
+			return approgTrialResult{}, err
+		}
+		lambda := d.Lambda()
+		apCfg := approgTestConfig(lambda)
+		epochLen := apCfg.EpochLen()
+		listener := newListenerLayer()
+		nodes := make([]sim.Node, d.NumNodes())
+		apNodes := make([]*approgress.Node, d.NumNodes())
+		for i := range nodes {
+			n := approgress.NewNode(apCfg, 0, nil)
+			if i == 0 {
+				n.SetLayer(listener)
+			}
+			apNodes[i] = n
+			nodes[i] = n
+		}
+		eng, err := tc.Engine(nodes)
+		if err != nil {
+			return approgTrialResult{}, err
+		}
+		// Node 0 listens; everyone else broadcasts.
+		for i := 1; i < d.NumNodes(); i++ {
+			apNodes[i].Bcast(0, core.Message{ID: core.MessageID(1000 + i), Origin: i})
+		}
+		eng.Run(4*epochLen, func() bool { return listener.rcvSlot >= 0 })
+		first := listener.rcvSlot
+		if first < 0 {
+			first = 4 * epochLen // censored
+		}
+		return approgTrialResult{lat: float64(first), lambda: lambda, epoch: epochLen}, nil
+	})
+	if err != nil {
+		return table, err
+	}
+
 	var xs, ys []float64
-	for _, delta := range deltas {
-		var lambda float64
-		var epochLen int64
-		var latencies []float64
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + uint64(delta*977+trial)
-			d, err := buildClusterDeployment(delta+1, seed)
-			if err != nil {
-				return table, err
-			}
-			lambda = d.Lambda()
-			apCfg := approgTestConfig(lambda)
-			epochLen = apCfg.EpochLen()
-			listener := newListenerLayer()
-			nodes := make([]sim.Node, d.NumNodes())
-			apNodes := make([]*approgress.Node, d.NumNodes())
-			for i := range nodes {
-				n := approgress.NewNode(apCfg, 0, nil)
-				if i == 0 {
-					n.SetLayer(listener)
-				}
-				apNodes[i] = n
-				nodes[i] = n
-			}
-			eng, err := newEngine(d, nodes, seed)
-			if err != nil {
-				return table, err
-			}
-			// Node 0 listens; everyone else broadcasts.
-			for i := 1; i < d.NumNodes(); i++ {
-				apNodes[i].Bcast(0, core.Message{ID: core.MessageID(1000 + i), Origin: i})
-			}
-			eng.Run(4*epochLen, func() bool { return listener.rcvSlot >= 0 })
-			first := listener.rcvSlot
-			if first < 0 {
-				first = 4 * epochLen // censored
-			}
-			latencies = append(latencies, float64(first))
+	for pi, delta := range deltas {
+		lambda, epochLen := res[pi][0].lambda, res[pi][0].epoch
+		latencies := make([]float64, 0, trials)
+		for _, r := range res[pi] {
+			latencies = append(latencies, r.lat)
 		}
 		theory := core.TheoreticalFapprog(lambda, 3, 0.1)
 		table.AddRow(delta, lambda, epochLen, stats.Median(latencies), stats.Max(latencies), theory)
@@ -303,6 +359,12 @@ func ApproxProgressScaling(cfg Config) (Table, error) {
 		table.AddNote("normalised growth of median progress time vs Δ = %.2f (≈0 means flat, ≈1 means linear; f_ack grows linearly)", ratio)
 	}
 	return table, nil
+}
+
+// decayTrialResult is one E4 trial: the progress latency of Decay and of
+// Algorithm 9.1 on the same two-balls deployment.
+type decayTrialResult struct {
+	decay, approg float64
 }
 
 // DecayVsApprog is experiment E4-decay: the Theorem 8.1 two-balls
@@ -322,27 +384,35 @@ func DecayVsApprog(cfg Config) (Table, error) {
 	}
 	trials := cfg.trials(3)
 
-	var xs, decayYs []float64
-	for _, delta := range deltas {
-		var decayLat, apLat []float64
-		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + uint64(delta*313+trial)
+	res, err := runTrials(cfg, "E4-decay", len(deltas), trials, func(tc *TrialContext) (decayTrialResult, error) {
+		delta := deltas[tc.Point]
+		d, err := tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
 			r := math.Max(20, 5*math.Sqrt(float64(delta)))
-			params := sinr.DefaultParams(r)
-			d, err := topology.TwoBalls(delta, params, rng.New(seed))
-			if err != nil {
-				return table, err
-			}
-			dl, err := measureTwoBallsProgress(d, delta, seed, true)
-			if err != nil {
-				return table, err
-			}
-			al, err := measureTwoBallsProgress(d, delta, seed, false)
-			if err != nil {
-				return table, err
-			}
-			decayLat = append(decayLat, dl)
-			apLat = append(apLat, al)
+			return topology.TwoBalls(delta, sinr.DefaultParams(r), src)
+		})
+		if err != nil {
+			return decayTrialResult{}, err
+		}
+		dl, err := measureTwoBallsProgress(tc, d, delta, true)
+		if err != nil {
+			return decayTrialResult{}, err
+		}
+		al, err := measureTwoBallsProgress(tc, d, delta, false)
+		if err != nil {
+			return decayTrialResult{}, err
+		}
+		return decayTrialResult{decay: dl, approg: al}, nil
+	})
+	if err != nil {
+		return table, err
+	}
+
+	var xs, decayYs []float64
+	for pi, delta := range deltas {
+		var decayLat, apLat []float64
+		for _, r := range res[pi] {
+			decayLat = append(decayLat, r.decay)
+			apLat = append(apLat, r.approg)
 		}
 		dm, am := stats.Median(decayLat), stats.Median(apLat)
 		ratio := 0.0
@@ -364,8 +434,10 @@ func DecayVsApprog(cfg Config) (Table, error) {
 
 // measureTwoBallsProgress runs the two-balls scenario with either the Decay
 // MAC (useDecay) or the Algorithm 9.1 node and returns the slot at which
-// the B1 listener (node 0) first receives any message.
-func measureTwoBallsProgress(d *topology.Deployment, delta int, seed uint64, useDecay bool) (float64, error) {
+// the B1 listener (node 0) first receives any message. Both variants run on
+// the trial's reusable engine with the same engine seed, so the comparison
+// is over identical protocol randomness.
+func measureTwoBallsProgress(tc *TrialContext, d *topology.Deployment, delta int, useDecay bool) (float64, error) {
 	nodes := make([]sim.Node, d.NumNodes())
 	var deadline int64
 	broadcasters := map[int]bool{1: true}
@@ -404,7 +476,7 @@ func measureTwoBallsProgress(d *topology.Deployment, delta int, seed uint64, use
 			nodes[i] = n
 		}
 	}
-	eng, err := newEngine(d, nodes, seed)
+	eng, err := tc.Engine(nodes)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sinrmac/internal/rng"
+	"sinrmac/internal/sim"
+	"sinrmac/internal/sinr"
+	"sinrmac/internal/topology"
+)
+
+// TestRunTrialsCanonicalOrder checks that results land in [point][trial]
+// slots regardless of worker count and that every job sees its own
+// coordinates.
+func TestRunTrialsCanonicalOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		cfg := Config{Seed: 1, Workers: workers}
+		res, err := runTrials(cfg, "T-order", 4, 5, func(tc *TrialContext) (string, error) {
+			return fmt.Sprintf("p%dt%d", tc.Point, tc.Trial), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 4 {
+			t.Fatalf("workers=%d: %d points", workers, len(res))
+		}
+		for p := range res {
+			if len(res[p]) != 5 {
+				t.Fatalf("workers=%d: point %d has %d trials", workers, p, len(res[p]))
+			}
+			for tr, got := range res[p] {
+				if want := fmt.Sprintf("p%dt%d", p, tr); got != want {
+					t.Fatalf("workers=%d: slot [%d][%d] = %q, want %q", workers, p, tr, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunTrialsSeedsIndependentOfWorkers is the heart of the determinism
+// contract: the random streams a job observes are a pure function of its
+// (experiment, point, trial) coordinates, never of the worker count or
+// scheduling order.
+func TestRunTrialsSeedsIndependentOfWorkers(t *testing.T) {
+	draw := func(workers int) [][]uint64 {
+		cfg := Config{Seed: 42, Workers: workers}
+		res, err := runTrials(cfg, "T-seeds", 3, 4, func(tc *TrialContext) (uint64, error) {
+			return tc.Src.Uint64() ^ tc.seed, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := draw(1)
+	for _, workers := range []int{2, 8} {
+		par := draw(workers)
+		for p := range seq {
+			for tr := range seq[p] {
+				if seq[p][tr] != par[p][tr] {
+					t.Fatalf("workers=%d: job (%d,%d) drew %d, sequential drew %d",
+						workers, p, tr, par[p][tr], seq[p][tr])
+				}
+			}
+		}
+	}
+	// Distinct jobs must draw distinct streams.
+	seen := make(map[uint64]bool)
+	for p := range seq {
+		for tr := range seq[p] {
+			if seen[seq[p][tr]] {
+				t.Fatalf("jobs share a stream: %v", seq)
+			}
+			seen[seq[p][tr]] = true
+		}
+	}
+	// A different experiment name must shift every stream.
+	other, err := runTrials(Config{Seed: 42, Workers: 1}, "T-other", 3, 4, func(tc *TrialContext) (uint64, error) {
+		return tc.Src.Uint64() ^ tc.seed, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[0][0] == seq[0][0] {
+		t.Fatal("experiment label did not separate the streams")
+	}
+}
+
+// TestRunTrialsSharedDeployment checks that every trial of a sweep point
+// observes the same deployment instance (built once) and that different
+// points get different deployments.
+func TestRunTrialsSharedDeployment(t *testing.T) {
+	var mu sync.Mutex
+	builds := 0
+	cfg := Config{Seed: 5, Workers: 4}
+	res, err := runTrials(cfg, "T-dep", 2, 6, func(tc *TrialContext) (*topology.Deployment, error) {
+		return tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
+			mu.Lock()
+			builds++
+			mu.Unlock()
+			return topology.Line(8+tc.Point, 2, defaultLineParams())
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 2 {
+		t.Fatalf("deployment built %d times, want once per point", builds)
+	}
+	for p := range res {
+		for tr := 1; tr < len(res[p]); tr++ {
+			if res[p][tr] != res[p][0] {
+				t.Fatalf("point %d trial %d got a different deployment instance", p, tr)
+			}
+		}
+	}
+	if res[0][0] == res[1][0] {
+		t.Fatal("distinct points share a deployment")
+	}
+}
+
+// TestRunTrialsEngineReuse checks that a worker reuses one engine per point
+// across its trials and that Engine demands a prior Deployment call.
+func TestRunTrialsEngineReuse(t *testing.T) {
+	cfg := Config{Seed: 9, Workers: 1}
+	res, err := runTrials(cfg, "T-engine", 1, 4, func(tc *TrialContext) (*sim.Engine, error) {
+		d, err := tc.Deployment(func(src *rng.Source) (*topology.Deployment, error) {
+			return topology.Line(6, 2, defaultLineParams())
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes := make([]sim.Node, d.NumNodes())
+		for i := range nodes {
+			nodes[i] = &idleNode{}
+		}
+		eng, err := tc.Engine(nodes)
+		if err != nil {
+			return nil, err
+		}
+		if eng.Slot() != 0 {
+			return nil, fmt.Errorf("engine not rewound: slot %d", eng.Slot())
+		}
+		eng.Run(3, nil)
+		return eng, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr := 1; tr < len(res[0]); tr++ {
+		if res[0][tr] != res[0][0] {
+			t.Fatal("sequential worker did not reuse its engine")
+		}
+	}
+
+	_, err = runTrials(cfg, "T-engine2", 1, 1, func(tc *TrialContext) (int, error) {
+		_, err := tc.Engine(nil)
+		return 0, err
+	})
+	if err == nil {
+		t.Fatal("Engine before Deployment accepted")
+	}
+}
+
+// TestRunTrialsErrorPropagation checks that the first failing job in
+// canonical order wins and is labelled with its coordinates.
+func TestRunTrialsErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Seed: 1, Workers: workers}
+		var ran atomic.Int64
+		_, err := runTrials(cfg, "T-err", 3, 3, func(tc *TrialContext) (int, error) {
+			ran.Add(1)
+			if tc.Point == 1 && tc.Trial >= 1 {
+				return 0, boom
+			}
+			return tc.Point, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// Early cancellation: the sequential path stops at the first
+		// failure (job index 4 of 9) instead of draining the grid.
+		if workers == 1 && ran.Load() != 5 {
+			t.Fatalf("sequential run executed %d jobs after a failure at job 4", ran.Load())
+		}
+		want := "T-err point 1 trial 1"
+		if got := err.Error(); !strings.Contains(got, want) {
+			t.Fatalf("workers=%d: error %q does not name the first failing job %q", workers, got, want)
+		}
+	}
+	if _, err := runTrials(Config{Seed: 1}, "T-empty", 0, 3, func(tc *TrialContext) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+// idleNode is a sim.Node that never transmits.
+type idleNode struct{}
+
+func (idleNode) Init(id int, src *rng.Source)     {}
+func (idleNode) Tick(slot int64) *sim.Frame       { return nil }
+func (idleNode) Receive(slot int64, f *sim.Frame) {}
+
+func defaultLineParams() sinr.Params { return sinr.DefaultParams(10) }

@@ -60,6 +60,43 @@ func (s *Source) SplitLabeled(label uint64) *Source {
 	return New(splitmix64(&st))
 }
 
+// SplitLabels chains SplitLabeled over the given labels, deriving a Source
+// that depends only on s's current state and the full label path. The
+// experiment scheduler uses it to give every (experiment, point, trial) job
+// an independent stream that is a pure function of its coordinates, never of
+// execution order.
+func (s *Source) SplitLabels(labels ...uint64) *Source {
+	cur := s
+	for _, l := range labels {
+		cur = cur.SplitLabeled(l)
+	}
+	if cur == s {
+		// Zero labels: return a copy so that drawing from the result never
+		// advances s — the uniform contract of every split. The copy yields
+		// s's future stream; callers that need an independent stream must
+		// supply at least one label.
+		return &Source{state: s.state}
+	}
+	return cur
+}
+
+// Label hashes an arbitrary string into a SplitLabeled label (FNV-1a
+// finished with a splitmix64 avalanche, so short strings that share a
+// prefix still land far apart). It lets named entities — experiment ids,
+// protocol variants — anchor a labelled split without hand-picked constants.
+func Label(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return splitmix64(&h)
+}
+
 // Float64 returns a uniformly distributed value in [0, 1).
 func (s *Source) Float64() float64 {
 	// 53 high-quality bits -> [0,1).

@@ -162,6 +162,62 @@ func TestSplitLabeledStable(t *testing.T) {
 	}
 }
 
+func TestSplitLabelsPath(t *testing.T) {
+	parent := New(33)
+	a := parent.SplitLabels(1, 2, 3)
+	b := parent.SplitLabels(1, 2, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SplitLabels with the same path produced different streams")
+		}
+	}
+	// The path matters as a sequence, not as a set.
+	c := parent.SplitLabels(1, 2, 3)
+	d := parent.SplitLabels(3, 2, 1)
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("SplitLabels ignored label order")
+	}
+	// Chaining must not advance the parent.
+	before := parent.state
+	parent.SplitLabels(9, 9)
+	if parent.state != before {
+		t.Fatal("SplitLabels advanced the parent source")
+	}
+	// Zero labels returns a copy: drawing from it must not advance the
+	// parent.
+	empty := parent.SplitLabels()
+	if empty == parent {
+		t.Fatal("SplitLabels with no labels aliased the receiver")
+	}
+	before = parent.state
+	empty.Uint64()
+	if parent.state != before {
+		t.Fatal("drawing from an empty-path split advanced the parent")
+	}
+}
+
+func TestLabelStableAndDistinct(t *testing.T) {
+	if Label("E1-ack") != Label("E1-ack") {
+		t.Fatal("Label is not deterministic")
+	}
+	names := []string{"", "E1-ack", "E2-proglb", "E3-approg", "E4-decay", "E5-smb", "E6-mmb", "E7-cons"}
+	seen := make(map[uint64]string)
+	for _, n := range names {
+		l := Label(n)
+		if prev, ok := seen[l]; ok {
+			t.Fatalf("Label collision: %q and %q both hash to %d", prev, n, l)
+		}
+		seen[l] = n
+	}
+	// Labels must behave as SplitLabeled inputs: same label, same stream.
+	parent := New(1)
+	a := parent.SplitLabeled(Label("x"))
+	b := parent.SplitLabeled(Label("x"))
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Label-derived splits diverged")
+	}
+}
+
 func TestPermIsPermutation(t *testing.T) {
 	s := New(17)
 	for _, n := range []int{0, 1, 2, 5, 50} {

@@ -112,6 +112,7 @@ type Engine struct {
 	stats     Stats
 	frames    []*Frame // scratch: per-node frame transmitted this slot
 	txScratch []int
+	rxCounts  []int64 // scratch: per-chunk reception subtotals (parallel driver)
 }
 
 // Stats accumulates aggregate counters over an execution.
@@ -164,6 +165,44 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 	return e, nil
 }
 
+// Reset rewinds the engine to slot zero over a fresh set of node automata,
+// reusing the engine's channel, evaluator and scratch storage (frame and
+// transmitter slices) instead of reallocating them. The node count must
+// match the deployment. Observers are dropped; callers re-register the ones
+// the new execution needs.
+//
+// Reset re-seeds the per-node random sources exactly as NewEngine does, so
+// an engine that is Reset with the same nodes and seed replays the identical
+// execution a fresh engine would produce — this is what lets the experiment
+// scheduler run many trials on one engine without repaying its fixed costs.
+// Mutable per-execution state inside the evaluator (scratch arenas, lazy
+// power-column caches) is keyed only to the immutable deployment, so it
+// carries over safely.
+func (e *Engine) Reset(nodes []Node, seed uint64) error {
+	if len(nodes) != len(e.nodes) {
+		return fmt.Errorf("sim: Reset with %d nodes on a %d-node engine", len(nodes), len(e.nodes))
+	}
+	for i, n := range nodes {
+		if n == nil {
+			return fmt.Errorf("sim: node %d is nil", i)
+		}
+	}
+	e.nodes = nodes
+	e.observers = e.observers[:0]
+	e.slot = 0
+	e.stats = Stats{}
+	e.txScratch = e.txScratch[:0]
+	for i := range e.frames {
+		e.frames[i] = nil
+	}
+	e.cfg.Seed = seed
+	master := rng.New(seed)
+	for i, n := range nodes {
+		n.Init(i, master.SplitLabeled(uint64(i)))
+	}
+	return nil
+}
+
 // AddObserver registers an observer invoked after every slot, in
 // registration order.
 func (e *Engine) AddObserver(o Observer) {
@@ -213,18 +252,11 @@ func (e *Engine) Step() {
 
 	// Phase 3: deliveries.
 	if e.cfg.Parallel {
-		e.receiveParallel(slot, receptions)
+		e.stats.Receptions += e.receiveParallel(slot, receptions)
 	} else {
 		for i, rec := range receptions {
 			if rec.Sender >= 0 {
 				e.nodes[i].Receive(slot, e.frames[rec.Sender])
-				e.stats.Receptions++
-			}
-		}
-	}
-	if e.cfg.Parallel {
-		for _, rec := range receptions {
-			if rec.Sender >= 0 {
 				e.stats.Receptions++
 			}
 		}
@@ -276,10 +308,21 @@ func (e *Engine) tickParallel(slot int64) {
 	wg.Wait()
 }
 
-func (e *Engine) receiveParallel(slot int64, receptions []sinr.Reception) {
+// receiveParallel delivers decoded frames on the worker pool and returns the
+// number of successful decodes. Each chunk counts its own deliveries into a
+// private subtotal, so the receptions slice is scanned exactly once and the
+// sum is deterministic (integer addition over disjoint chunks).
+func (e *Engine) receiveParallel(slot int64, receptions []sinr.Reception) int64 {
 	workers := e.workerCount()
 	var wg sync.WaitGroup
 	chunk := (len(e.nodes) + workers - 1) / workers
+	if cap(e.rxCounts) < workers {
+		e.rxCounts = make([]int64, workers)
+	}
+	subtotals := e.rxCounts[:workers]
+	for i := range subtotals {
+		subtotals[i] = 0
+	}
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -290,16 +333,24 @@ func (e *Engine) receiveParallel(slot int64, receptions []sinr.Reception) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi, w int) {
 			defer wg.Done()
+			count := int64(0)
 			for i := lo; i < hi; i++ {
 				if s := receptions[i].Sender; s >= 0 {
 					e.nodes[i].Receive(slot, e.frames[s])
+					count++
 				}
 			}
-		}(lo, hi)
+			subtotals[w] = count
+		}(lo, hi, w)
 	}
 	wg.Wait()
+	total := int64(0)
+	for _, c := range subtotals {
+		total += c
+	}
+	return total
 }
 
 // Run simulates slots until stop returns true or maxSlots slots have been

@@ -308,6 +308,67 @@ func TestEngineAccessors(t *testing.T) {
 	}
 }
 
+// TestResetReplaysFreshEngine is the determinism contract Engine.Reset is
+// built on: an engine reset with new nodes and a seed must replay the exact
+// execution a freshly constructed engine would produce, for both evaluator
+// paths.
+func TestResetReplaysFreshEngine(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		name := "naive"
+		if fast {
+			name = "fast"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Reference: a fresh engine.
+			freshNodes, freshEng := buildScenario(t, 50, 11, fast, Config{Seed: engineSeed})
+			freshEng.Run(150, nil)
+
+			// Reused: run an unrelated execution first, then Reset.
+			_, eng := buildScenario(t, 50, 11, fast, Config{Seed: 12345})
+			eng.AddObserver(ObserverFunc(func(int64, []int, []sinr.Reception) {}))
+			eng.Run(40, nil)
+			reNodes := make([]*randomNode, 50)
+			ifaces := make([]Node, 50)
+			for i := range reNodes {
+				reNodes[i] = &randomNode{p: 0.2}
+				ifaces[i] = reNodes[i]
+			}
+			if err := eng.Reset(ifaces, engineSeed); err != nil {
+				t.Fatal(err)
+			}
+			if eng.Slot() != 0 || eng.Stats() != (Stats{}) {
+				t.Fatalf("Reset left slot=%d stats=%+v", eng.Slot(), eng.Stats())
+			}
+			eng.Run(150, nil)
+
+			if freshEng.Stats() != eng.Stats() {
+				t.Fatalf("stats diverged after Reset: fresh %+v vs reset %+v", freshEng.Stats(), eng.Stats())
+			}
+			for i := range freshNodes {
+				if freshNodes[i].sent != reNodes[i].sent || freshNodes[i].received != reNodes[i].received {
+					t.Fatalf("node %d diverged: fresh sent=%d recv=%d, reset sent=%d recv=%d",
+						i, freshNodes[i].sent, freshNodes[i].received, reNodes[i].sent, reNodes[i].received)
+				}
+			}
+		})
+	}
+}
+
+func TestResetValidation(t *testing.T) {
+	_, eng := buildScenario(t, 10, 3, false, Config{Seed: 1})
+	if err := eng.Reset(make([]Node, 9), 1); err == nil {
+		t.Fatal("Reset accepted a node-count mismatch")
+	}
+	nodes := make([]Node, 10)
+	for i := range nodes {
+		nodes[i] = &randomNode{p: 0.1}
+	}
+	nodes[7] = nil
+	if err := eng.Reset(nodes, 1); err == nil {
+		t.Fatal("Reset accepted a nil node")
+	}
+}
+
 func TestManyNodesThroughput(t *testing.T) {
 	// Smoke test: a larger deployment with random transmitters makes some
 	// progress (receptions happen) and no invariants trip.

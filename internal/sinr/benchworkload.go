@@ -1,0 +1,32 @@
+package sinr
+
+import (
+	"math"
+
+	"sinrmac/internal/geom"
+	"sinrmac/internal/rng"
+)
+
+// BenchWorkload builds the canonical slot-path benchmark workload: n nodes
+// drawn uniformly from a 4√n × 4√n square, so the density stays constant as
+// n grows (the hardest regime for far-field culling — nearly every receiver
+// has transmitters in range), with every tenth node transmitting. It is the
+// single definition shared by the top-level BenchmarkSlotReceptions suite
+// and cmd/macbench -json, so their measurements stay comparable across PRs.
+func BenchWorkload(n int, seed uint64) (*Channel, []int, error) {
+	src := rng.New(seed)
+	side := 4 * math.Sqrt(float64(n))
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * side, Y: src.Float64() * side}
+	}
+	ch, err := NewChannel(DefaultParams(12), pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tx []int
+	for i := 0; i < n; i += 10 {
+		tx = append(tx, i)
+	}
+	return ch, tx, nil
+}

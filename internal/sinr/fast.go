@@ -99,8 +99,11 @@ type FastChannel struct {
 	// Lazy column cache (grid mode): cols[s] is the received power of
 	// sender s at every node, filled the first time s transmits, up to
 	// colBudget columns. Columns are only written between parallel scans.
-	cols      [][]float64
-	colBudget int
+	// The cache is private to each evaluator: forks sharing a deployment
+	// each fill their own columns, so concurrent trials never contend.
+	cols          [][]float64
+	colBudget     int
+	colBudgetInit int
 
 	out    []Reception
 	isTx   []bool
@@ -151,10 +154,43 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 		}
 		f.cols = make([][]float64, n)
 		if budget > 0 {
-			f.colBudget = int(budget / int64(8*n))
+			f.colBudgetInit = int(budget / int64(8*n))
+			f.colBudget = f.colBudgetInit
 		}
 	}
 	return f
+}
+
+// Fork returns an evaluator that shares f's immutable state — the underlying
+// channel, node positions, precomputed n×n power matrix and spatial grid —
+// while owning private mutable scratch (reception slice, transmitter flags,
+// per-worker rows) and, on the grid path, a private lazy column cache with a
+// fresh budget. Forks may evaluate slots concurrently with each other and
+// with f. The experiment scheduler hands each trial worker its own fork, so
+// the power matrix of a sweep point's deployment is built once and shared
+// across every parallel trial instead of being rebuilt per trial.
+func (f *FastChannel) Fork() *FastChannel {
+	g := &FastChannel{
+		ch:            f.ch,
+		pos:           f.pos,
+		n:             f.n,
+		workers:       f.workers,
+		beta:          f.beta,
+		noise:         f.noise,
+		cullPower:     f.cullPower,
+		cullRadius:    f.cullRadius,
+		mat:           f.mat,
+		grid:          f.grid,
+		colBudgetInit: f.colBudgetInit,
+		out:           make([]Reception, f.n),
+		isTx:          make([]bool, f.n),
+	}
+	g.txPred = func(id int) bool { return g.isTx[id] }
+	if g.grid != nil {
+		g.cols = make([][]float64, g.n)
+		g.colBudget = g.colBudgetInit
+	}
+	return g
 }
 
 // ensureColumns fills the power columns of any transmitter that does not

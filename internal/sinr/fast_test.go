@@ -105,6 +105,91 @@ func TestSlotReceptionsEquivalence(t *testing.T) {
 	}
 }
 
+// TestForkMatchesParent checks that a fork of a (warm) fast evaluator keeps
+// producing receptions bit-identical to the naive reference on both the
+// matrix and grid paths, and that the fork and its parent do not share
+// mutable scratch: interleaved and concurrent evaluations of different
+// transmitter sets stay independent.
+func TestForkMatchesParent(t *testing.T) {
+	src := rng.New(0xf0f0)
+	n := 120
+	side := 4 * math.Sqrt(float64(n))
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * side, Y: src.Float64() * side}
+	}
+	ch, err := NewChannel(DefaultParams(12), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []FastOptions{
+		{Workers: 2},
+		{Workers: 2, MatrixThreshold: -1},
+	} {
+		name := "matrix"
+		if opts.MatrixThreshold < 0 {
+			name = "grid"
+		}
+		t.Run(name, func(t *testing.T) {
+			parent := NewFastChannel(ch, opts)
+			// Warm the parent's scratch and column cache before forking.
+			warm := []int{1, 3, 5, 7}
+			parent.SlotReceptions(warm)
+			fork := parent.Fork()
+			if fork.NumNodes() != parent.NumNodes() || fork.Channel() != parent.Channel() {
+				t.Fatal("fork does not share the parent's deployment")
+			}
+
+			// Interleaved slots: the fork's result must survive the parent
+			// evaluating a different transmitter set (no shared out slice).
+			txA := []int{0, 10, 20, 30, 40}
+			txB := []int{2, 4, 6, 8}
+			got := fork.SlotReceptions(txA)
+			parent.SlotReceptions(txB)
+			want := ch.SlotReceptions(txA)
+			for r := range want {
+				if got[r] != want[r] {
+					t.Fatalf("fork diverged at node %d after parent ran: got %d want %d",
+						r, got[r].Sender, want[r].Sender)
+				}
+			}
+
+			// Concurrent forks over random transmitter sets: run under -race
+			// this is the scheduler's sharing pattern (one fork per worker).
+			const forks = 4
+			done := make(chan error, forks)
+			for w := 0; w < forks; w++ {
+				f := parent.Fork()
+				wsrc := rng.New(uint64(w) + 100)
+				go func() {
+					for slot := 0; slot < 25; slot++ {
+						var tx []int
+						for i := 0; i < n; i++ {
+							if wsrc.Bernoulli(0.1) {
+								tx = append(tx, i)
+							}
+						}
+						got := f.SlotReceptions(tx)
+						want := ch.SlotReceptions(tx)
+						for r := range want {
+							if got[r] != want[r] {
+								done <- fmt.Errorf("concurrent fork diverged at node %d (slot %d)", r, slot)
+								return
+							}
+						}
+					}
+					done <- nil
+				}()
+			}
+			for w := 0; w < forks; w++ {
+				if err := <-done; err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestSlotReceptionsEquivalenceThreshold pins the β-threshold and near-field
 // edge cases: receivers exactly at, just inside and just outside the
 // transmission range R, coincident nodes inside the near-field clamp, and a

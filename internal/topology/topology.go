@@ -12,6 +12,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"sinrmac/internal/geom"
 	"sinrmac/internal/graphs"
@@ -20,7 +21,11 @@ import (
 )
 
 // Deployment is a set of node positions with the physical-layer parameters
-// they are intended to be simulated under.
+// they are intended to be simulated under. Positions and Params are
+// immutable once the deployment is built; derived quantities that are
+// expensive to induce (the strong graph, Λ) are computed once and cached,
+// which lets many concurrent trials share one deployment without repaying
+// the induction per trial.
 type Deployment struct {
 	// Name identifies the generator and parameters for reports.
 	Name string
@@ -28,14 +33,23 @@ type Deployment struct {
 	Positions []geom.Point
 	// Params are the SINR parameters for this deployment.
 	Params sinr.Params
+
+	strongOnce sync.Once
+	strong     *graphs.Graph
+	lambdaOnce sync.Once
+	lambda     float64
 }
 
 // NumNodes returns the number of nodes in the deployment.
 func (d *Deployment) NumNodes() int { return len(d.Positions) }
 
-// StrongGraph returns G_{1-ε} for the deployment.
+// StrongGraph returns G_{1-ε} for the deployment. The graph is induced on
+// first use and cached — experiments query the diameter and maximum degree
+// of a shared deployment from many concurrent trials — so callers must
+// treat the returned graph as read-only. It is safe for concurrent use.
 func (d *Deployment) StrongGraph() *graphs.Graph {
-	return graphs.Strong(d.Params, d.Positions)
+	d.strongOnce.Do(func() { d.strong = graphs.Strong(d.Params, d.Positions) })
+	return d.strong
 }
 
 // ApproxGraph returns G_{1-2ε} for the deployment.
@@ -48,9 +62,12 @@ func (d *Deployment) WeakGraph() *graphs.Graph {
 	return graphs.Weak(d.Params, d.Positions)
 }
 
-// Lambda returns Λ = R_{1-ε}/dmin for the deployment.
+// Lambda returns Λ = R_{1-ε}/dmin for the deployment, computed once and
+// cached (the minimum pairwise distance scan is quadratic for small
+// deployments). It is safe for concurrent use.
 func (d *Deployment) Lambda() float64 {
-	return sinr.Lambda(d.Params, d.Positions)
+	d.lambdaOnce.Do(func() { d.lambda = sinr.Lambda(d.Params, d.Positions) })
+	return d.lambda
 }
 
 // Channel returns a fresh SINR channel for the deployment.

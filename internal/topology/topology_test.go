@@ -2,6 +2,7 @@ package topology
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -312,6 +313,40 @@ func TestDeploymentDerivedQuantities(t *testing.T) {
 	}
 	if _, err := d.Channel(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeploymentCachesDerivedQuantities pins the sharing contract the
+// parallel experiment scheduler relies on: StrongGraph and Lambda are
+// induced once per deployment and returned from cache on every later call,
+// including concurrent ones.
+func TestDeploymentCachesDerivedQuantities(t *testing.T) {
+	d, err := Line(12, 2, sinr.DefaultParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	graphs := make([]interface{}, 8)
+	lambdas := make([]float64, 8)
+	for i := range graphs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			graphs[i] = d.StrongGraph()
+			lambdas[i] = d.Lambda()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(graphs); i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatal("StrongGraph returned different instances")
+		}
+		if lambdas[i] != lambdas[0] {
+			t.Fatal("Lambda returned different values")
+		}
+	}
+	if d.StrongGraph() != graphs[0] {
+		t.Fatal("StrongGraph cache missed on a later call")
 	}
 }
 
