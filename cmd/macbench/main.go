@@ -8,19 +8,34 @@
 // shows how the epoch structure trades discovery reliability against data
 // throughput.
 //
-// With -json the command instead benchmarks the SINR slot hot path (naive
-// reference vs fast evaluator, matrix and grid regimes) via
-// testing.Benchmark and writes the measurements — ns/op, allocs/op and the
-// speedup over the naive path — to BENCH_macbench.json, so the performance
-// trajectory stays machine-readable across PRs.
+// With -json the command instead benchmarks the slot pipeline via
+// testing.Benchmark and writes the measurements to BENCH_macbench.json (or
+// the -out path), so the performance trajectory stays machine-readable
+// across PRs:
+//
+//   - the SINR slot hot path, naive reference vs fast evaluator, in the
+//     matrix and grid regimes (ns/op, allocs/op, speedup vs naive);
+//   - the sparse sender-centric path vs the dense scan on the
+//     sinr.SparseBenchWorkload (|tx| = √n) in both regimes;
+//   - a steady-state sim.Engine.Step over pooled frames (ns/op and
+//     allocs/op, the latter expected to be zero).
+//
+// With -compare FILE the fresh measurements are additionally checked
+// against a previously committed report on machine-invariant quantities:
+// the run fails if any matching case's speedup ratio (fast over naive,
+// sparse over dense) shrank by more than the tolerance (2×) or an
+// optimised path started allocating. CI runs this against the committed
+// BENCH_macbench.json as a gross-regression smoke test.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"sinrmac/internal/approgress"
@@ -53,12 +68,14 @@ func run() int {
 		nodes    = flag.Int("n", 24, "cluster size (the listener plus n-1 broadcasters)")
 		trials   = flag.Int("trials", 3, "trials per configuration")
 		seed     = flag.Uint64("seed", 1, "random seed")
-		jsonMode = flag.Bool("json", false, "benchmark the SINR slot path and write BENCH_macbench.json instead of the ablation sweeps")
+		jsonMode = flag.Bool("json", false, "benchmark the slot pipeline and write a JSON report instead of the ablation sweeps")
+		outPath  = flag.String("out", benchFile, "path the -json report is written to")
+		compare  = flag.String("compare", "", "baseline report to check the fresh -json measurements against (fails on gross regressions)")
 	)
 	flag.Parse()
 
 	if *jsonMode {
-		return runJSONBench(*seed)
+		return runJSONBench(*seed, *outPath, *compare)
 	}
 
 	fmt.Printf("ablation workload: one cluster of %d nodes, %d broadcasters, listener = node 0\n\n", *nodes, *nodes-1)
@@ -131,50 +148,98 @@ type benchCase struct {
 	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
 }
 
-// benchReport is the top-level BENCH_macbench.json document.
-type benchReport struct {
-	GoMaxProcs int         `json:"gomaxprocs"`
-	Seed       uint64      `json:"seed"`
-	Cases      []benchCase `json:"cases"`
+// sparseCase is one sparse-vs-dense slot-path measurement: the same
+// workload (|tx| = √n) evaluated with the sender-centric sparse path
+// disabled and enabled.
+type sparseCase struct {
+	// Name identifies the regime: "sparse_matrix" or "sparse_grid".
+	Name string `json:"name"`
+	// Nodes and Transmitters describe the workload (sinr.SparseBenchWorkload).
+	Nodes        int `json:"nodes"`
+	Transmitters int `json:"transmitters"`
+	// Dense and Sparse are the per-slot cost of the full receiver scan and
+	// the sender-centric candidate enumeration.
+	DenseNsPerOp      float64 `json:"dense_ns_per_op"`
+	DenseAllocsPerOp  int64   `json:"dense_allocs_per_op"`
+	SparseNsPerOp     float64 `json:"sparse_ns_per_op"`
+	SparseAllocsPerOp int64   `json:"sparse_allocs_per_op"`
+	// SpeedupVsDense is DenseNsPerOp / SparseNsPerOp.
+	SpeedupVsDense float64 `json:"speedup_vs_dense"`
 }
 
-// benchFile is where runJSONBench writes its report.
+// stepCase is one steady-state Engine.Step measurement over the pooled
+// frame pipeline.
+type stepCase struct {
+	Name string `json:"name"`
+	// Nodes is the deployment size; TxPerSlot the mean transmitter count.
+	Nodes     int     `json:"nodes"`
+	TxPerSlot float64 `json:"tx_per_slot"`
+	// Parallel reports whether the worker-pool driver was used.
+	Parallel    bool    `json:"parallel"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the top-level BENCH_macbench.json document.
+type benchReport struct {
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Seed        uint64       `json:"seed"`
+	Cases       []benchCase  `json:"cases"`
+	SparseCases []sparseCase `json:"sparse_cases"`
+	StepCases   []stepCase   `json:"step_cases"`
+}
+
+// benchFile is where runJSONBench writes its report by default.
 const benchFile = "BENCH_macbench.json"
 
-// runJSONBench measures the naive and fast slot evaluators in both cache
-// regimes via testing.Benchmark and writes the report to BENCH_macbench.json.
-func runJSONBench(seed uint64) int {
-	regimes := []struct {
+// compareTolerance is the gross-regression threshold of -compare: a fresh
+// speedup ratio (fast over naive, sparse over dense) may be at most this
+// many times smaller than the committed baseline's. The gate compares
+// ratios measured within one run rather than absolute ns/op, so it is
+// invariant to how fast the machine running it is; the tolerance is
+// generous on purpose — the check has to survive workload-shape variance
+// across hosts and only catch order-of-magnitude breakage.
+const compareTolerance = 2.0
+
+// benchSlot measures one evaluator configuration over a fixed transmitter
+// set, warming the evaluator first so caches behave as in a running
+// simulation.
+func benchSlot(ev sinr.ChannelEvaluator, tx []int) testing.BenchmarkResult {
+	ev.SlotReceptions(tx)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.SlotReceptions(tx)
+		}
+	})
+}
+
+// runJSONBench measures the slot pipeline via testing.Benchmark, writes the
+// report to outPath, and — when comparePath is set — checks the fresh
+// numbers against the committed baseline.
+func runJSONBench(seed uint64, outPath, comparePath string) int {
+	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Seed: seed}
+
+	// Naive-vs-fast on the dense canonical workload, both cache regimes:
+	// below sinr.DefaultMatrixThreshold the fast path serves slots from the
+	// precomputed power matrix; above it, from the spatial grid with the
+	// lazy column cache.
+	for _, reg := range []struct {
 		name string
 		n    int
 	}{
-		// Below sinr.DefaultMatrixThreshold the fast path serves slots from
-		// the precomputed power matrix; above it, from the spatial grid with
-		// the lazy column cache.
 		{"matrix", 1000},
 		{"grid", 4000},
-	}
-	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Seed: seed}
-	for _, reg := range regimes {
+	} {
 		ch, tx, err := sinr.BenchWorkload(reg.n, seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
 			return 1
 		}
-		naive := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				ch.SlotReceptions(tx)
-			}
-		})
+		naive := benchSlot(ch, tx)
 		fast := sinr.NewFastChannel(ch)
-		fast.SlotReceptions(tx) // warm the power cache like a running simulation
-		fastRes := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				fast.SlotReceptions(tx)
-			}
-		})
+		fastRes := benchSlot(fast, tx)
+		fast.Close()
 		c := benchCase{
 			Name:             reg.name,
 			Nodes:            reg.n,
@@ -188,20 +253,209 @@ func runJSONBench(seed uint64) int {
 			c.SpeedupVsNaive = c.NaiveNsPerOp / c.FastNsPerOp
 		}
 		report.Cases = append(report.Cases, c)
-		fmt.Printf("%-7s n=%-5d k=%-4d naive %12.0f ns/op (%d allocs)  fast %10.0f ns/op (%d allocs)  speedup %.1fx\n",
+		fmt.Printf("%-13s n=%-5d k=%-4d naive %12.0f ns/op (%d allocs)  fast %10.0f ns/op (%d allocs)  speedup %.1fx\n",
 			reg.name, c.Nodes, c.Transmitters, c.NaiveNsPerOp, c.NaiveAllocsPerOp, c.FastNsPerOp, c.FastAllocsPerOp, c.SpeedupVsNaive)
 	}
+
+	// Sparse-vs-dense on the sparse workload (|tx| = √n at n = 5000), both
+	// regimes. The matrix regime raises the threshold so the 5000-node
+	// deployment still uses the cached power matrix, isolating the receiver
+	// enumeration as the only difference.
+	const sparseN = 5000
+	for _, reg := range []struct {
+		name      string
+		threshold int
+	}{
+		{"sparse_matrix", sparseN},
+		{"sparse_grid", -1},
+	} {
+		ch, tx, err := sinr.SparseBenchWorkload(sparseN, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+			return 1
+		}
+		dense := sinr.NewFastChannel(ch, sinr.FastOptions{MatrixThreshold: reg.threshold, SparseFactor: -1})
+		denseRes := benchSlot(dense, tx)
+		dense.Close()
+		sparse := sinr.NewFastChannel(ch, sinr.FastOptions{MatrixThreshold: reg.threshold})
+		sparseRes := benchSlot(sparse, tx)
+		sparse.Close()
+		c := sparseCase{
+			Name:              reg.name,
+			Nodes:             sparseN,
+			Transmitters:      len(tx),
+			DenseNsPerOp:      float64(denseRes.NsPerOp()),
+			DenseAllocsPerOp:  denseRes.AllocsPerOp(),
+			SparseNsPerOp:     float64(sparseRes.NsPerOp()),
+			SparseAllocsPerOp: sparseRes.AllocsPerOp(),
+		}
+		if c.SparseNsPerOp > 0 {
+			c.SpeedupVsDense = c.DenseNsPerOp / c.SparseNsPerOp
+		}
+		report.SparseCases = append(report.SparseCases, c)
+		fmt.Printf("%-13s n=%-5d k=%-4d dense %12.0f ns/op (%d allocs)  sparse %9.0f ns/op (%d allocs)  speedup %.1fx\n",
+			reg.name, c.Nodes, c.Transmitters, c.DenseNsPerOp, c.DenseAllocsPerOp, c.SparseNsPerOp, c.SparseAllocsPerOp, c.SpeedupVsDense)
+	}
+
+	// Steady-state Engine.Step over pooled frames: the whole pipeline —
+	// tick, sparse evaluation, deliveries — with its allocation count,
+	// which must stay at zero.
+	for _, sc := range []struct {
+		name     string
+		parallel bool
+		workers  int
+	}{
+		{"engine_step", false, 1},
+		{"engine_step_parallel", true, 4},
+	} {
+		c, err := benchEngineStep(sc.name, seed, sc.parallel, sc.workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+			return 1
+		}
+		report.StepCases = append(report.StepCases, c)
+		fmt.Printf("%-20s n=%-5d k=%-6.1f %12.0f ns/op (%d allocs)\n",
+			c.Name, c.Nodes, c.TxPerSlot, c.NsPerOp, c.AllocsPerOp)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
 		return 1
 	}
-	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "macbench: writing %s: %v\n", benchFile, err)
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "macbench: writing %s: %v\n", outPath, err)
 		return 1
 	}
-	fmt.Printf("wrote %s\n", benchFile)
+	fmt.Printf("wrote %s\n", outPath)
+
+	if comparePath != "" {
+		if err := compareReports(comparePath, report); err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: regression check against %s failed:\n%v\n", comparePath, err)
+			return 1
+		}
+		fmt.Printf("no gross regressions vs %s (tolerance %.1fx)\n", comparePath, compareTolerance)
+	}
 	return 0
+}
+
+// stepBenchNode is the minimal sim.Node used by the Engine.Step benchmark:
+// it transmits a data frame with a fixed probability each slot.
+type stepBenchNode struct {
+	src  *rng.Source
+	p    float64
+	kind sim.FrameKind
+}
+
+func (n *stepBenchNode) Init(id int, src *rng.Source) { n.src = src }
+
+func (n *stepBenchNode) Tick(slot int64, f *sim.Frame) bool {
+	if !n.src.Bernoulli(n.p) {
+		return false
+	}
+	f.Kind = n.kind
+	f.Msg = core.Message{ID: 1, Origin: 0}
+	return true
+}
+
+func (n *stepBenchNode) Receive(slot int64, f *sim.Frame) {}
+
+// benchEngineStep measures a steady-state Engine.Step on a 2000-node sparse
+// workload (≈√n transmitters per slot) over the fast evaluator.
+func benchEngineStep(name string, seed uint64, parallel bool, workers int) (stepCase, error) {
+	const n = 2000
+	ch, _, err := sinr.SparseBenchWorkload(n, seed)
+	if err != nil {
+		return stepCase{}, err
+	}
+	kind := sim.RegisterFrameKind("macbench.step")
+	txPerSlot := math.Sqrt(float64(n))
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = &stepBenchNode{p: txPerSlot / float64(n), kind: kind}
+	}
+	fast := sinr.NewFastChannel(ch)
+	defer fast.Close()
+	eng, err := sim.NewEngine(ch, nodes, sim.Config{
+		Seed: seed, Parallel: parallel, Workers: workers, Evaluator: fast,
+	})
+	if err != nil {
+		return stepCase{}, err
+	}
+	eng.Run(50, nil) // warm the pool, scratch and candidate buffers
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Step()
+		}
+	})
+	return stepCase{
+		Name:        name,
+		Nodes:       n,
+		TxPerSlot:   txPerSlot,
+		Parallel:    parallel,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+	}, nil
+}
+
+// compareReports checks the fresh measurements against a committed
+// baseline using only machine-invariant quantities: the fast-over-naive
+// and sparse-over-dense speedup ratios (each measured within one run on
+// one machine) must not shrink beyond compareTolerance, and no optimised
+// path or steady-state step may allocate more than the baseline did.
+// Cases present on only one side are ignored, so adding a benchmark does
+// not break the first run against an old baseline.
+func compareReports(baselinePath string, fresh benchReport) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	var problems []string
+	checkSpeedup := func(name string, baseRatio, freshRatio float64) {
+		if baseRatio > 0 && freshRatio < baseRatio/compareTolerance {
+			problems = append(problems, fmt.Sprintf(
+				"  %s: speedup %.1fx vs baseline %.1fx (shrank by more than %.1fx)",
+				name, freshRatio, baseRatio, compareTolerance))
+		}
+	}
+	checkAllocs := func(name string, baseAllocs, freshAllocs int64) {
+		if freshAllocs > baseAllocs {
+			problems = append(problems, fmt.Sprintf(
+				"  %s: %d allocs/op vs baseline %d", name, freshAllocs, baseAllocs))
+		}
+	}
+	for _, b := range base.Cases {
+		for _, f := range fresh.Cases {
+			if f.Name == b.Name {
+				checkSpeedup(f.Name+"/fast-vs-naive", b.SpeedupVsNaive, f.SpeedupVsNaive)
+				checkAllocs(f.Name+"/fast", b.FastAllocsPerOp, f.FastAllocsPerOp)
+			}
+		}
+	}
+	for _, b := range base.SparseCases {
+		for _, f := range fresh.SparseCases {
+			if f.Name == b.Name {
+				checkSpeedup(f.Name+"/sparse-vs-dense", b.SpeedupVsDense, f.SpeedupVsDense)
+				checkAllocs(f.Name+"/sparse", b.SparseAllocsPerOp, f.SparseAllocsPerOp)
+			}
+		}
+	}
+	for _, b := range base.StepCases {
+		for _, f := range fresh.StepCases {
+			if f.Name == b.Name {
+				checkAllocs(f.Name, b.AllocsPerOp, f.AllocsPerOp)
+			}
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s", strings.Join(problems, "\n"))
+	}
+	return nil
 }
 
 func measure(n, trials int, seed uint64, base func(float64) approgress.Config, mutate func(*approgress.Config)) ([]float64, int64, error) {

@@ -26,16 +26,42 @@
 //     arena, caches the full received-power matrix for deployments up to
 //     sinr.DefaultMatrixThreshold nodes, and above that threshold combines
 //     a spatial grid (internal/geom) that culls far-field receivers with a
-//     memory-bounded lazy cache of per-sender power columns. Receivers are
-//     scanned by a deterministic worker pool wired to sim.Config.Workers.
+//     memory-bounded lazy cache of per-sender power columns. Slots whose
+//     transmitters cover an estimated fraction of the deployment below the
+//     sinr crossover (sparseCoverageMax) are evaluated sender-centrically:
+//     only the receivers inside some transmitter's culling ball are
+//     enumerated (every other receiver provably decodes nothing), making
+//     sparse-slot cost output-sensitive instead of Θ(n·k). Receivers are
+//     scanned by a persistent worker pool (internal/workpool) wired to
+//     sim.Config.Workers.
 //
-// The two paths produce bit-identical Reception slices: culling only skips
-// work whose outcome is provably fixed, and the differential property test
-// TestSlotReceptionsEquivalence in internal/sinr holds them to that across
-// randomized topologies, densities and transmitter sets. Drivers select a
-// path explicitly via sim.Config.Evaluator; the experiment harness
-// (internal/exp), cmd/macbench and cmd/sinrsim use the fast engine, while
-// unit tests exercising channel semantics keep the reference path.
+// The paths all produce bit-identical Reception slices: culling and sparse
+// enumeration only skip work whose outcome is provably fixed, and the
+// differential property tests (TestSlotReceptionsEquivalence,
+// TestSparseSenderCentricEquivalence in internal/sinr) hold them to that
+// across randomized topologies, densities, transmitter counts and worker
+// counts. Drivers select a path explicitly via sim.Config.Evaluator; the
+// experiment harness (internal/exp), cmd/macbench and cmd/sinrsim use the
+// fast engine, while unit tests exercising channel semantics keep the
+// reference path.
+//
+// # Frame lifecycle
+//
+// The steady-state slot path allocates nothing. sim.Engine owns one pooled
+// frame per node and hands node i its frame on every Tick; a transmitting
+// node fills the frame and returns true, and receivers are handed a
+// pointer to that same frame. Frame kinds are interned integers
+// (sim.RegisterFrameKind, registered once per protocol at package init),
+// the common bcast-message payload travels in the typed Frame.Msg slot,
+// and the approximate-progress control payloads are pointers into
+// per-automaton scratch. Two rules follow: a pooled frame and its payload
+// are valid only until the end of the slot (nodes and observers that
+// retain payload data must copy it — the spec recorder and checker are
+// unaffected because they only see copied core.Event values), and frame
+// fields are not cleared between slots, so receivers read only the fields
+// their Kind defines. The parallel driver's tick and receive phases run on
+// the evaluator's persistent worker pool, and TestEngineStepAllocFree
+// asserts zero allocations per steady-state Engine.Step on both drivers.
 //
 // # Parallel experiment scheduler
 //
@@ -65,6 +91,9 @@
 // top-level benchmark suite (bench_test.go) regenerates every table and
 // figure via `go test -bench=.` and compares the two evaluators at
 // n = 1k/5k/10k via BenchmarkSlotReceptions. cmd/macbench -json writes the
-// slot-path measurements (ns/op, allocs/op, speedup vs naive) to
-// BENCH_macbench.json for cross-PR tracking.
+// slot-pipeline measurements — naive vs fast, sparse vs dense at |tx| = √n,
+// and steady-state Engine.Step ns/op and allocs/op — to BENCH_macbench.json
+// for cross-PR tracking, and cmd/macbench -json -compare FILE fails on
+// gross (beyond 2×) regressions against a committed baseline; CI runs that
+// gate on every push.
 package sinrmac

@@ -42,21 +42,27 @@ import (
 	"sinrmac/internal/sim"
 )
 
-// Frame kinds used by the algorithm.
-const (
+// Frame kinds used by the algorithm, registered once at package
+// initialisation.
+var (
 	// FrameID is the discovery-block frame carrying the sender's id.
-	FrameID = "ap.id"
+	FrameID = sim.RegisterFrameKind("ap.id")
 	// FrameList is the confirmation-block frame carrying the sender's
 	// potential-neighbour list.
-	FrameList = "ap.list"
+	FrameList = sim.RegisterFrameKind("ap.list")
 	// FrameMIS is the MIS-block frame carrying the sender's label and
 	// state.
-	FrameMIS = "ap.mis"
-	// FrameData is the data-block frame carrying the bcast-message.
-	FrameData = "ap.data"
+	FrameMIS = sim.RegisterFrameKind("ap.mis")
+	// FrameData is the data-block frame carrying the bcast-message (in the
+	// typed Frame.Msg slot; the kinds above travel in Frame.Payload as
+	// pointers into the sender's per-automaton scratch).
+	FrameData = sim.RegisterFrameKind("ap.data")
 )
 
-// IDPayload is the payload of FrameID frames.
+// IDPayload is the payload of FrameID frames. Like every control payload of
+// this algorithm it is transmitted as a pointer into the sending
+// automaton's scratch, so it is valid only until the end of the slot;
+// receivers that retain any of it copy the values out.
 type IDPayload struct {
 	// Phase is the phase index the frame belongs to.
 	Phase int
@@ -279,6 +285,15 @@ type Automaton struct {
 	misState    uint8
 	heardRound  map[int]MISPayload // MIS messages heard in the current round
 	curRound    int
+
+	// Transmission scratch: the control payloads the automaton points
+	// pooled frames at. Re-filled on every transmitting Tick, so a
+	// receiver's view is stable for exactly one slot (the sim frame
+	// lifecycle). listScratch additionally reuses its Potentials backing
+	// array across slots.
+	idScratch   IDPayload
+	listScratch ListPayload
+	misScratch  MISPayload
 }
 
 // NewAutomaton returns an Algorithm 9.1 automaton for the node with the
@@ -337,9 +352,9 @@ func (a *Automaton) Neighbors() []int {
 // ProtocolSlot returns the automaton's protocol-slot counter.
 func (a *Automaton) ProtocolSlot() int64 { return a.protoSlot }
 
-// Tick advances the automaton by one protocol slot and returns the frame to
-// transmit, if any.
-func (a *Automaton) Tick() *sim.Frame {
+// Tick advances the automaton by one protocol slot; a transmission fills
+// the pooled frame f and returns true.
+func (a *Automaton) Tick(f *sim.Frame) bool {
 	slot := a.protoSlot
 	a.protoSlot++
 
@@ -367,12 +382,12 @@ func (a *Automaton) Tick() *sim.Frame {
 
 	switch {
 	case phasePos < discEnd:
-		return a.tickDiscovery(phase)
+		return a.tickDiscovery(phase, f)
 	case phasePos < listEnd:
 		if phasePos == discEnd {
 			a.finalizePotentials()
 		}
-		return a.tickList(phase)
+		return a.tickList(phase, f)
 	case phasePos < misEnd:
 		round := int((phasePos - listEnd) / t)
 		if (phasePos-listEnd)%t == 0 {
@@ -384,13 +399,13 @@ func (a *Automaton) Tick() *sim.Frame {
 			a.curRound = round
 			a.heardRound = make(map[int]MISPayload)
 		}
-		return a.tickMIS(phase, round)
+		return a.tickMIS(phase, round, f)
 	default:
 		if phasePos == misEnd {
 			a.processMISRound()
 			a.finalizeMIS()
 		}
-		return a.tickData()
+		return a.tickData(f)
 	}
 }
 
@@ -406,11 +421,14 @@ func (a *Automaton) resetPhase() {
 	a.curRound = 0
 }
 
-func (a *Automaton) tickDiscovery(phase int) *sim.Frame {
+func (a *Automaton) tickDiscovery(phase int, f *sim.Frame) bool {
 	if !a.phaseSender || !a.src.Bernoulli(a.cfg.P) {
-		return nil
+		return false
 	}
-	return &sim.Frame{Kind: FrameID, Payload: IDPayload{Phase: phase, ID: a.id}}
+	a.idScratch = IDPayload{Phase: phase, ID: a.id}
+	f.Kind = FrameID
+	f.Payload = &a.idScratch
+	return true
 }
 
 func (a *Automaton) finalizePotentials() {
@@ -427,13 +445,16 @@ func (a *Automaton) finalizePotentials() {
 	a.potentials = pots
 }
 
-func (a *Automaton) tickList(phase int) *sim.Frame {
+func (a *Automaton) tickList(phase int, f *sim.Frame) bool {
 	if !a.phaseSender || !a.src.Bernoulli(a.cfg.P) {
-		return nil
+		return false
 	}
-	pots := make([]int, len(a.potentials))
-	copy(pots, a.potentials)
-	return &sim.Frame{Kind: FrameList, Payload: ListPayload{Phase: phase, ID: a.id, Potentials: pots}}
+	a.listScratch.Phase = phase
+	a.listScratch.ID = a.id
+	a.listScratch.Potentials = append(a.listScratch.Potentials[:0], a.potentials...)
+	f.Kind = FrameList
+	f.Payload = &a.listScratch
+	return true
 }
 
 // finalizeNeighbors computes the H̃̃ neighbour set: v is a neighbour of u if
@@ -458,13 +479,16 @@ func (a *Automaton) finalizeNeighbors() {
 	}
 }
 
-func (a *Automaton) tickMIS(phase, round int) *sim.Frame {
+func (a *Automaton) tickMIS(phase, round int, f *sim.Frame) bool {
 	if !a.phaseSender || !a.src.Bernoulli(a.cfg.P) {
-		return nil
+		return false
 	}
-	return &sim.Frame{Kind: FrameMIS, Payload: MISPayload{
+	a.misScratch = MISPayload{
 		Phase: phase, Round: round, ID: a.id, Label: a.label, State: a.misState,
-	}}
+	}
+	f.Kind = FrameMIS
+	f.Payload = &a.misScratch
+	return true
 }
 
 // processMISRound applies the state transition at the end of an MIS round:
@@ -520,39 +544,44 @@ func (a *Automaton) finalizeMIS() {
 	a.nextSender = a.misState == StateDominator
 }
 
-func (a *Automaton) tickData() *sim.Frame {
+func (a *Automaton) tickData(f *sim.Frame) bool {
 	if !a.phaseSender || a.msg == nil {
-		return nil
+		return false
 	}
 	if !a.src.Bernoulli(a.cfg.P / a.cfg.Q()) {
-		return nil
+		return false
 	}
-	return &sim.Frame{Kind: FrameData, Payload: *a.msg}
+	f.Kind = FrameData
+	f.Msg = *a.msg
+	return true
 }
 
-// Receive processes a frame decoded in one of this automaton's slots.
+// Receive processes a frame decoded in one of this automaton's slots. The
+// control payloads point into the sender's scratch and are only valid for
+// this call, so anything retained (the confirmed potential lists, the
+// heard-this-round MIS messages) is copied out here.
 func (a *Automaton) Receive(f *sim.Frame) {
 	if f == nil {
 		return
 	}
 	switch f.Kind {
 	case FrameID:
-		if p, ok := f.Payload.(IDPayload); ok && a.phaseSender {
+		if p, ok := f.Payload.(*IDPayload); ok && a.phaseSender {
 			a.idCounts[p.ID]++
 		}
 	case FrameList:
-		if p, ok := f.Payload.(ListPayload); ok && a.phaseSender {
-			a.confirmed[p.ID] = p.Potentials
+		if p, ok := f.Payload.(*ListPayload); ok && a.phaseSender {
+			a.confirmed[p.ID] = append([]int(nil), p.Potentials...)
 		}
 	case FrameMIS:
-		if p, ok := f.Payload.(MISPayload); ok && a.phaseSender {
+		if p, ok := f.Payload.(*MISPayload); ok && a.phaseSender {
 			if a.neighbors[p.ID] {
-				a.heardRound[p.ID] = p
+				a.heardRound[p.ID] = *p
 			}
 		}
 	case FrameData:
-		if m, ok := f.Payload.(core.Message); ok && a.onData != nil {
-			a.onData(m)
+		if a.onData != nil {
+			a.onData(f.Msg)
 		}
 	}
 }

@@ -76,13 +76,23 @@ func TestAutomatonConstructorErrors(t *testing.T) {
 	}
 }
 
+// tick drives one automaton Tick with a throwaway pooled frame, returning
+// the transmitted frame (nil when the automaton listened).
+func tick(a *Automaton) *sim.Frame {
+	var f sim.Frame
+	if a.Tick(&f) {
+		return &f
+	}
+	return nil
+}
+
 func TestAutomatonIdleWithoutBroadcast(t *testing.T) {
 	aut, err := NewAutomaton(testConfig(8), 0, rng.New(1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := int64(0); i < aut.cfg.EpochLen()+10; i++ {
-		if aut.Tick() != nil {
+		if tick(aut) != nil {
 			t.Fatal("idle automaton transmitted")
 		}
 	}
@@ -100,19 +110,19 @@ func TestAutomatonJoinsAtEpochBoundary(t *testing.T) {
 	// Burn half an epoch, then start a broadcast: the node must not join
 	// S₁ until the next epoch boundary.
 	for i := int64(0); i < cfg.EpochLen()/2; i++ {
-		aut.Tick()
+		tick(aut)
 	}
 	aut.Start(core.Message{ID: 1, Origin: 0})
 	if !aut.Broadcasting() {
 		t.Fatal("not broadcasting after Start")
 	}
 	for i := cfg.EpochLen() / 2; i < cfg.EpochLen(); i++ {
-		aut.Tick()
+		tick(aut)
 		if aut.EpochSender() {
 			t.Fatal("node joined S₁ in the middle of an epoch")
 		}
 	}
-	aut.Tick() // first slot of the next epoch
+	tick(aut) // first slot of the next epoch
 	if !aut.EpochSender() || !aut.SenderActive() {
 		t.Fatal("node did not join S₁ at the epoch boundary")
 	}
@@ -125,13 +135,13 @@ func TestAutomatonTransmitsAllFrameKindsWhenAlone(t *testing.T) {
 		t.Fatal(err)
 	}
 	aut.Start(core.Message{ID: 9, Origin: 3})
-	kinds := map[string]int{}
+	kinds := map[sim.FrameKind]int{}
 	for i := int64(0); i < cfg.EpochLen(); i++ {
-		if f := aut.Tick(); f != nil {
+		if f := tick(aut); f != nil {
 			kinds[f.Kind]++
 		}
 	}
-	for _, k := range []string{FrameID, FrameList, FrameMIS, FrameData} {
+	for _, k := range []sim.FrameKind{FrameID, FrameList, FrameMIS, FrameData} {
 		if kinds[k] == 0 {
 			t.Fatalf("automaton never transmitted %s frames; got %v", k, kinds)
 		}
@@ -155,7 +165,7 @@ func TestAutomatonAbortStopsData(t *testing.T) {
 		t.Fatal("still broadcasting after abort")
 	}
 	for i := int64(0); i < cfg.EpochLen(); i++ {
-		if f := aut.Tick(); f != nil && f.Kind == FrameData {
+		if f := tick(aut); f != nil && f.Kind == FrameData {
 			t.Fatal("aborted automaton transmitted data")
 		}
 	}
@@ -168,9 +178,8 @@ func TestAutomatonReceiveDataCallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	aut.Receive(nil)
-	aut.Receive(&sim.Frame{Kind: "decay.data", Payload: core.Message{ID: 3}})
-	aut.Receive(&sim.Frame{Kind: FrameData, Payload: core.Message{ID: 4, Origin: 2}})
-	aut.Receive(&sim.Frame{Kind: FrameData, Payload: "garbage"})
+	aut.Receive(&sim.Frame{Kind: sim.RegisterFrameKind("decay.data"), Msg: core.Message{ID: 3}})
+	aut.Receive(&sim.Frame{Kind: FrameData, Msg: core.Message{ID: 4, Origin: 2}})
 	if len(got) != 1 || got[0].ID != 4 {
 		t.Fatalf("onData saw %+v", got)
 	}
@@ -317,8 +326,9 @@ func TestNodeAckTimerAndAbort(t *testing.T) {
 	if !n.Busy() {
 		t.Fatal("node not busy after Bcast")
 	}
+	var fr sim.Frame
 	for slot := int64(0); slot < 60; slot++ {
-		n.Tick(slot)
+		n.Tick(slot, &fr)
 	}
 	if n.Busy() {
 		t.Fatal("node still busy after the ack timer")
@@ -334,7 +344,7 @@ func TestNodeAckTimerAndAbort(t *testing.T) {
 	n.Bcast(100, core.Message{ID: 6, Origin: 2})
 	n.Abort(101, 6)
 	for slot := int64(101); slot < 300; slot++ {
-		n.Tick(slot)
+		n.Tick(slot, &fr)
 	}
 	if got := len(rec.EventsOfKind(core.EventAck)); got != 1 {
 		t.Fatalf("ack fired for aborted message: %d acks", got)
@@ -349,13 +359,13 @@ func TestNodeRcvDeduplication(t *testing.T) {
 	n.Init(1, rng.New(8))
 	m := core.Message{ID: 7, Origin: 0}
 	for i := 0; i < 3; i++ {
-		n.Receive(int64(i), &sim.Frame{From: 0, Kind: FrameData, Payload: m})
+		n.Receive(int64(i), &sim.Frame{From: 0, Kind: FrameData, Msg: m})
 	}
 	if len(layer.rcvs) != 1 {
 		t.Fatalf("OnRcv called %d times", len(layer.rcvs))
 	}
 	// Own messages are never delivered upward.
-	n.Receive(5, &sim.Frame{From: 1, Kind: FrameData, Payload: core.Message{ID: 8, Origin: 1}})
+	n.Receive(5, &sim.Frame{From: 1, Kind: FrameData, Msg: core.Message{ID: 8, Origin: 1}})
 	if len(layer.rcvs) != 1 {
 		t.Fatal("own message delivered upward")
 	}

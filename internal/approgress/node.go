@@ -87,7 +87,7 @@ func (n *Node) Abort(slot int64, id core.MessageID) {
 }
 
 // Tick implements sim.Node.
-func (n *Node) Tick(slot int64) *sim.Frame {
+func (n *Node) Tick(slot int64, f *sim.Frame) bool {
 	n.curSlot = slot
 	if n.layer != nil {
 		n.layer.OnSlot(slot)
@@ -101,7 +101,7 @@ func (n *Node) Tick(slot int64) *sim.Frame {
 			n.layer.OnAck(slot, m)
 		}
 	}
-	return n.aut.Tick()
+	return n.aut.Tick(f)
 }
 
 // Receive implements sim.Node.

@@ -24,8 +24,9 @@ import (
 	"sinrmac/internal/sim"
 )
 
-// FrameKind is the frame kind used for Decay data transmissions.
-const FrameKind = "decay.data"
+// FrameKind is the frame kind used for Decay data transmissions, registered
+// once at package initialisation.
+var FrameKind = sim.RegisterFrameKind("decay.data")
 
 // Config holds the Decay parameters.
 type Config struct {
@@ -136,11 +137,11 @@ func (a *Automaton) Active() bool { return a.active && !a.done }
 // Done reports whether the broadcast has completed (enough phases elapsed).
 func (a *Automaton) Done() bool { return a.active && a.done }
 
-// Tick advances the automaton one protocol slot and returns the frame to
-// transmit, if any.
-func (a *Automaton) Tick() *sim.Frame {
+// Tick advances the automaton one protocol slot; a transmission fills the
+// pooled frame f and returns true.
+func (a *Automaton) Tick(f *sim.Frame) bool {
 	if !a.Active() {
-		return nil
+		return false
 	}
 	p := math.Pow(2, -float64(a.slotInPh))
 	send := a.src.Bernoulli(p)
@@ -153,9 +154,11 @@ func (a *Automaton) Tick() *sim.Frame {
 		}
 	}
 	if !send {
-		return nil
+		return false
 	}
-	return &sim.Frame{Kind: FrameKind, Payload: a.msg}
+	f.Kind = FrameKind
+	f.Msg = a.msg
+	return true
 }
 
 // Receive processes a frame decoded in one of this automaton's slots.
@@ -163,7 +166,7 @@ func (a *Automaton) Receive(f *sim.Frame) {
 	if f == nil || f.Kind != FrameKind {
 		return
 	}
-	if m, ok := f.Payload.(core.Message); ok && a.onData != nil {
-		a.onData(m)
+	if a.onData != nil {
+		a.onData(f.Msg)
 	}
 }

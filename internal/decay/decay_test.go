@@ -54,6 +54,13 @@ func TestAutomatonConstructorErrors(t *testing.T) {
 	}
 }
 
+// tick drives one automaton Tick with a throwaway pooled frame, returning
+// whether the automaton transmitted.
+func tick(a *Automaton) bool {
+	var f sim.Frame
+	return a.Tick(&f)
+}
+
 func TestAutomatonLifecycle(t *testing.T) {
 	cfg := DefaultConfig(8, 0.1)
 	aut, err := NewAutomaton(cfg, rng.New(2), nil)
@@ -63,7 +70,7 @@ func TestAutomatonLifecycle(t *testing.T) {
 	if aut.Active() || aut.Done() {
 		t.Fatal("fresh automaton active")
 	}
-	if aut.Tick() != nil {
+	if tick(aut) {
 		t.Fatal("idle automaton transmitted")
 	}
 	aut.Start(core.Message{ID: 1, Origin: 0})
@@ -72,7 +79,7 @@ func TestAutomatonLifecycle(t *testing.T) {
 	}
 	sent := 0
 	for i := int64(0); i < cfg.AckSlots(); i++ {
-		if aut.Tick() != nil {
+		if tick(aut) {
 			sent++
 		}
 	}
@@ -97,11 +104,11 @@ func TestAutomatonFirstSlotAlwaysTransmits(t *testing.T) {
 	}
 	aut.Start(core.Message{ID: 1, Origin: 0})
 	for phase := 0; phase < 5; phase++ {
-		if aut.Tick() == nil {
+		if !tick(aut) {
 			t.Fatalf("phase %d slot 0 did not transmit", phase)
 		}
 		for j := 1; j < cfg.PhaseLen(); j++ {
-			aut.Tick()
+			tick(aut)
 		}
 	}
 }
@@ -113,8 +120,8 @@ func TestAutomatonReceiveCallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	aut.Receive(nil)
-	aut.Receive(&sim.Frame{Kind: "hm.data", Payload: core.Message{ID: 9}})
-	aut.Receive(&sim.Frame{Kind: FrameKind, Payload: core.Message{ID: 5, Origin: 2}})
+	aut.Receive(&sim.Frame{Kind: sim.RegisterFrameKind("hm.data"), Msg: core.Message{ID: 9}})
+	aut.Receive(&sim.Frame{Kind: FrameKind, Msg: core.Message{ID: 5, Origin: 2}})
 	if len(got) != 1 || got[0].ID != 5 {
 		t.Fatalf("onData saw %+v", got)
 	}

@@ -202,8 +202,8 @@ func TestRunTrialsErrorPropagation(t *testing.T) {
 // idleNode is a sim.Node that never transmits.
 type idleNode struct{}
 
-func (idleNode) Init(id int, src *rng.Source)     {}
-func (idleNode) Tick(slot int64) *sim.Frame       { return nil }
-func (idleNode) Receive(slot int64, f *sim.Frame) {}
+func (idleNode) Init(id int, src *rng.Source)       {}
+func (idleNode) Tick(slot int64, f *sim.Frame) bool { return false }
+func (idleNode) Receive(slot int64, f *sim.Frame)   {}
 
 func defaultLineParams() sinr.Params { return sinr.DefaultParams(10) }

@@ -294,6 +294,35 @@ func (g *Grid) AnyWithin(p Point, r float64, pred func(id int) bool) bool {
 	return false
 }
 
+// AppendWithin appends to dst the ids of all stored points within distance
+// r of p (inclusive) and returns the extended slice. Unlike Neighborhood it
+// neither sorts nor allocates beyond growing dst, and the membership
+// predicate (squared distance at most r²) is exactly the one AnyWithin
+// evaluates, so the two queries agree on every borderline point. The append
+// order follows the grid's deterministic cell walk, not id order; callers
+// that need id order must sort. The sparse sender-centric SINR path uses it
+// to enumerate the receivers inside each transmitter's ball with a reused
+// candidate buffer.
+func (g *Grid) AppendWithin(dst []int, p Point, r float64) []int {
+	if r < 0 {
+		return dst
+	}
+	span := int(math.Ceil(r / g.cell))
+	center := g.keyFor(p)
+	rr := r * r
+	for dx := -span; dx <= span; dx++ {
+		for dy := -span; dy <= span; dy++ {
+			k := cellKey{cx: center.cx + dx, cy: center.cy + dy}
+			for _, id := range g.cells[k] {
+				if g.pts[id].DistSq(p) <= rr {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // AnnulusCount returns how many stored points have distance d from p with
 // inner < d <= outer. It is used by interference bounds that sum over rings
 // around a receiver.

@@ -2,6 +2,7 @@ package geom
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -363,5 +364,54 @@ func TestGridAnyWithinAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("AnyWithin allocates %.1f objects per query, want 0", allocs)
+	}
+}
+
+// TestGridAppendWithinMatchesNeighborhood checks the sparse-path ball
+// enumeration against the sorted reference query: same membership (the
+// AnyWithin predicate), unsorted but duplicate-free, reusing the caller's
+// buffer without allocating.
+func TestGridAppendWithinMatchesNeighborhood(t *testing.T) {
+	src := rng.New(41)
+	g := NewGrid(3)
+	for i := 0; i < 400; i++ {
+		g.Insert(i, Point{X: src.Float64() * 120, Y: src.Float64() * 120})
+	}
+	var buf []int
+	for trial := 0; trial < 300; trial++ {
+		p := Point{X: src.Float64() * 140, Y: src.Float64() * 140}
+		r := src.Float64() * 18
+		want := g.Neighborhood(p, r)
+		buf = g.AppendWithin(buf[:0], p, r)
+		got := append([]int(nil), buf...)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("AppendWithin(%v, %v) found %d points, Neighborhood %d", p, r, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("AppendWithin(%v, %v) mismatch at %d: %d vs %d", p, r, i, got[i], want[i])
+			}
+		}
+	}
+	if got := g.AppendWithin(nil, Point{0, 0}, -1); got != nil {
+		t.Fatal("negative radius appended points")
+	}
+}
+
+// TestGridAppendWithinAllocFree pins the property the sparse sender-centric
+// SINR path relies on: enumerating a ball into a warm buffer allocates
+// nothing.
+func TestGridAppendWithinAllocFree(t *testing.T) {
+	g := NewGrid(2)
+	for i := 0; i < 100; i++ {
+		g.Insert(i, Point{X: float64(i % 10), Y: float64(i / 10)})
+	}
+	buf := make([]int, 0, 128)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = g.AppendWithin(buf[:0], Point{5, 5}, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendWithin allocates %.1f objects per query, want 0", allocs)
 	}
 }

@@ -38,8 +38,8 @@ func New(cfg Config, recorder *core.Recorder) *macnode.Node {
 }
 
 // FrameKind is the frame kind used for data transmissions of this
-// algorithm.
-const FrameKind = "hm.data"
+// algorithm, registered once at package initialisation.
+var FrameKind = sim.RegisterFrameKind("hm.data")
 
 // Config holds the algorithm parameters. The structural constants default
 // to values that preserve the paper's algorithm shape at simulation scale;
@@ -217,11 +217,11 @@ func (a *Automaton) Done() bool { return a.active && a.done }
 // exported for tests and instrumentation.
 func (a *Automaton) Probability() float64 { return a.p }
 
-// Tick advances the automaton by one protocol slot and returns the frame to
-// transmit, if any.
-func (a *Automaton) Tick() *sim.Frame {
+// Tick advances the automaton by one protocol slot; a transmission fills
+// the pooled frame f and returns true.
+func (a *Automaton) Tick(f *sim.Frame) bool {
 	if !a.Active() {
-		return nil
+		return false
 	}
 	// Line 7: double the probability at the start of every step.
 	if a.slotInStep == 0 {
@@ -238,9 +238,11 @@ func (a *Automaton) Tick() *sim.Frame {
 		a.done = true
 	}
 	if !send {
-		return nil
+		return false
 	}
-	return &sim.Frame{Kind: FrameKind, Payload: a.msg}
+	f.Kind = FrameKind
+	f.Msg = a.msg
+	return true
 }
 
 // Receive processes a frame decoded in one of this automaton's slots.
@@ -248,10 +250,7 @@ func (a *Automaton) Receive(f *sim.Frame) {
 	if f == nil || f.Kind != FrameKind {
 		return
 	}
-	m, ok := f.Payload.(core.Message)
-	if !ok {
-		return
-	}
+	m := f.Msg
 	if a.onData != nil {
 		a.onData(m)
 	}

@@ -52,6 +52,13 @@ func TestAutomatonConstructorErrors(t *testing.T) {
 	}
 }
 
+// tick drives one automaton Tick with a throwaway pooled frame, returning
+// whether the automaton transmitted.
+func tick(a *Automaton) bool {
+	var f sim.Frame
+	return a.Tick(&f)
+}
+
 func TestAutomatonIdleUntilStart(t *testing.T) {
 	aut, err := NewAutomaton(DefaultConfig(8, 0.1), rng.New(1), nil)
 	if err != nil {
@@ -61,7 +68,7 @@ func TestAutomatonIdleUntilStart(t *testing.T) {
 		t.Fatal("fresh automaton active")
 	}
 	for i := 0; i < 100; i++ {
-		if aut.Tick() != nil {
+		if tick(aut) {
 			t.Fatal("idle automaton transmitted")
 		}
 	}
@@ -80,7 +87,7 @@ func TestAutomatonHaltsWithinBudget(t *testing.T) {
 	transmitted := 0
 	var slots int64
 	for ; slots < cfg.MaxSlots() && !aut.Done(); slots++ {
-		if aut.Tick() != nil {
+		if tick(aut) {
 			transmitted++
 		}
 	}
@@ -92,7 +99,7 @@ func TestAutomatonHaltsWithinBudget(t *testing.T) {
 	}
 	// Once done it stops transmitting.
 	for i := 0; i < 50; i++ {
-		if aut.Tick() != nil {
+		if tick(aut) {
 			t.Fatal("halted automaton transmitted")
 		}
 	}
@@ -107,14 +114,14 @@ func TestAutomatonProbabilityRampsUp(t *testing.T) {
 	aut.Start(core.Message{ID: 1, Origin: 0})
 	p0 := aut.Probability()
 	for i := 0; i < cfg.StepLen()*4; i++ {
-		aut.Tick()
+		tick(aut)
 	}
 	if aut.Probability() <= p0 {
 		t.Fatalf("probability did not ramp up: %v -> %v", p0, aut.Probability())
 	}
 	// The probability never exceeds PMax.
 	for i := 0; i < cfg.StepLen()*40 && !aut.Done(); i++ {
-		aut.Tick()
+		tick(aut)
 		if aut.Probability() > cfg.withDefaults().PMax+1e-12 {
 			t.Fatalf("probability %v exceeded PMax", aut.Probability())
 		}
@@ -130,13 +137,13 @@ func TestAutomatonFallbackOnContention(t *testing.T) {
 	aut.Start(core.Message{ID: 1, Origin: 0})
 	// Ramp the probability up first.
 	for i := 0; i < cfg.StepLen()*12; i++ {
-		aut.Tick()
+		tick(aut)
 	}
 	before := aut.Probability()
 	// Simulate a busy channel: deliver more messages than the threshold.
 	other := core.Message{ID: 99, Origin: 5}
 	for i := 0; i <= cfg.FallbackThreshold(); i++ {
-		aut.Receive(&sim.Frame{Kind: FrameKind, Payload: other})
+		aut.Receive(&sim.Frame{Kind: FrameKind, Msg: other})
 	}
 	if aut.Probability() >= before {
 		t.Fatalf("fall-back did not reduce probability: %v -> %v", before, aut.Probability())
@@ -150,12 +157,11 @@ func TestAutomatonIgnoresForeignFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	aut.Receive(nil)
-	aut.Receive(&sim.Frame{Kind: "ap.data", Payload: core.Message{ID: 1}})
-	aut.Receive(&sim.Frame{Kind: FrameKind, Payload: "not a message"})
+	aut.Receive(&sim.Frame{Kind: sim.RegisterFrameKind("ap.data"), Msg: core.Message{ID: 1}})
 	if calls != 0 {
 		t.Fatalf("onData called %d times for non-data frames", calls)
 	}
-	aut.Receive(&sim.Frame{Kind: FrameKind, Payload: core.Message{ID: 1, Origin: 3}})
+	aut.Receive(&sim.Frame{Kind: FrameKind, Msg: core.Message{ID: 1, Origin: 3}})
 	if calls != 1 {
 		t.Fatalf("onData calls = %d, want 1", calls)
 	}
@@ -172,7 +178,7 @@ func TestAutomatonAbort(t *testing.T) {
 		t.Fatal("aborted automaton still active")
 	}
 	for i := 0; i < 100; i++ {
-		if aut.Tick() != nil {
+		if tick(aut) {
 			t.Fatal("aborted automaton transmitted")
 		}
 	}

@@ -195,8 +195,9 @@ func TestNodeAbort(t *testing.T) {
 		t.Fatalf("abort events = %d", got)
 	}
 	// No ack may ever fire for the aborted message.
+	var fr sim.Frame
 	for slot := int64(3); slot < 500; slot++ {
-		n.Tick(slot)
+		n.Tick(slot, &fr)
 	}
 	if got := len(rec.EventsOfKind(core.EventAck)); got != 0 {
 		t.Fatalf("ack events after abort = %d", got)
@@ -210,7 +211,7 @@ func TestNodeRcvDeduplicated(t *testing.T) {
 	n.SetLayer(layer)
 	n.Init(1, rng.New(3))
 	m := core.Message{ID: 5, Origin: 0}
-	f := &sim.Frame{From: 0, Kind: FrameKind, Payload: m}
+	f := &sim.Frame{From: 0, Kind: FrameKind, Msg: m}
 	n.Receive(10, f)
 	n.Receive(11, f)
 	n.Receive(12, f)
@@ -222,7 +223,7 @@ func TestNodeRcvDeduplicated(t *testing.T) {
 	}
 	// A node never delivers its own message.
 	own := core.Message{ID: 6, Origin: 1}
-	n.Receive(13, &sim.Frame{From: 1, Kind: FrameKind, Payload: own})
+	n.Receive(13, &sim.Frame{From: 1, Kind: FrameKind, Msg: own})
 	if len(layer.rcvs) != 1 {
 		t.Fatal("node delivered its own message")
 	}

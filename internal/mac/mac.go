@@ -148,7 +148,7 @@ func (n *Node) Abort(slot int64, id core.MessageID) {
 
 // Tick implements sim.Node: even slots run the acknowledgment automaton,
 // odd slots run the approximate-progress automaton.
-func (n *Node) Tick(slot int64) *sim.Frame {
+func (n *Node) Tick(slot int64, f *sim.Frame) bool {
 	n.curSlot = slot
 	if n.layer != nil {
 		n.layer.OnSlot(slot)
@@ -165,9 +165,9 @@ func (n *Node) Tick(slot int64) *sim.Frame {
 		}
 	}
 	if slot%2 == 0 {
-		return n.ack.Tick()
+		return n.ack.Tick(f)
 	}
-	return n.prog.Tick()
+	return n.prog.Tick(f)
 }
 
 // Receive implements sim.Node. Frames are routed to the automaton that owns

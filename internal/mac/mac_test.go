@@ -136,15 +136,15 @@ func TestCombinedMACSlotMultiplexing(t *testing.T) {
 	eng.AddObserver(sim.ObserverFunc(func(slot int64, tx []int, rec []sinr.Reception) {}))
 	// Use a custom observer through engine stepping: inspect frames via the
 	// node Tick return values by wrapping Step manually.
+	var fr sim.Frame
 	for slot := int64(0); slot < 400; slot++ {
 		for id := 0; id < d.NumNodes(); id++ {
 			n := eng.Node(id).(*Node)
-			f := n.Tick(slot)
-			if f == nil {
+			if !n.Tick(slot, &fr) {
 				continue
 			}
 			even := slot%2 == 0
-			isAck := f.Kind == hmbcast.FrameKind
+			isAck := fr.Kind == hmbcast.FrameKind
 			if even != isAck {
 				bad++
 			}
@@ -178,8 +178,9 @@ func TestCombinedMACBusyAbort(t *testing.T) {
 		t.Fatalf("abort events = %d", got)
 	}
 	// No ack may fire afterwards.
+	var fr sim.Frame
 	for slot := int64(3); slot < 2000; slot++ {
-		n.Tick(slot)
+		n.Tick(slot, &fr)
 	}
 	if got := len(rec.EventsOfKind(core.EventAck)); got != 0 {
 		t.Fatalf("ack fired after abort: %d", got)
@@ -197,18 +198,18 @@ func TestCombinedMACFrameRouting(t *testing.T) {
 	n.Init(1, rng.New(2))
 	// A data frame from either half produces exactly one rcv upward.
 	m := core.Message{ID: 3, Origin: 0}
-	n.Receive(4, &sim.Frame{From: 0, Kind: hmbcast.FrameKind, Payload: m})
-	n.Receive(5, &sim.Frame{From: 0, Kind: approgress.FrameData, Payload: m})
+	n.Receive(4, &sim.Frame{From: 0, Kind: hmbcast.FrameKind, Msg: m})
+	n.Receive(5, &sim.Frame{From: 0, Kind: approgress.FrameData, Msg: m})
 	if len(layer.rcvs) != 1 {
 		t.Fatalf("rcvs = %d, want 1 (deduplicated across halves)", len(layer.rcvs))
 	}
 	m2 := core.Message{ID: 4, Origin: 0}
-	n.Receive(6, &sim.Frame{From: 0, Kind: approgress.FrameData, Payload: m2})
+	n.Receive(6, &sim.Frame{From: 0, Kind: approgress.FrameData, Msg: m2})
 	if len(layer.rcvs) != 2 {
 		t.Fatalf("rcvs = %d, want 2", len(layer.rcvs))
 	}
 	// Control frames of the progress half do not produce rcv events.
-	n.Receive(7, &sim.Frame{From: 0, Kind: approgress.FrameID, Payload: approgress.IDPayload{Phase: 0, ID: 0}})
+	n.Receive(7, &sim.Frame{From: 0, Kind: approgress.FrameID, Payload: &approgress.IDPayload{Phase: 0, ID: 0}})
 	if len(layer.rcvs) != 2 {
 		t.Fatal("control frame produced a rcv event")
 	}

@@ -27,10 +27,13 @@ type Automaton interface {
 	// Done reports whether the ongoing broadcast has completed and can be
 	// acknowledged.
 	Done() bool
-	// Tick advances the automaton one slot and returns the frame to
-	// transmit, if any.
-	Tick() *sim.Frame
+	// Tick advances the automaton one slot. To transmit it fills the
+	// node's pooled frame f and returns true; returning false listens.
+	// The frame follows the sim frame lifecycle: it is reused across
+	// slots and valid only until the end of the slot.
+	Tick(f *sim.Frame) bool
 	// Receive processes a frame decoded in one of the automaton's slots.
+	// The frame's payload is valid only for the duration of the call.
 	Receive(f *sim.Frame)
 }
 
@@ -117,7 +120,7 @@ func (n *Node) Abort(slot int64, id core.MessageID) {
 }
 
 // Tick implements sim.Node.
-func (n *Node) Tick(slot int64) *sim.Frame {
+func (n *Node) Tick(slot int64, f *sim.Frame) bool {
 	n.curSlot = slot
 	if n.layer != nil {
 		n.layer.OnSlot(slot)
@@ -132,7 +135,7 @@ func (n *Node) Tick(slot int64) *sim.Frame {
 			n.layer.OnAck(slot, m)
 		}
 	}
-	return n.aut.Tick()
+	return n.aut.Tick(f)
 }
 
 // Receive implements sim.Node.

@@ -22,6 +22,9 @@ func testChannel(t *testing.T) *sinr.Channel {
 	return ch
 }
 
+// dataKind is the frame kind the fake automaton transmits.
+var dataKind = sim.RegisterFrameKind("test.data")
+
 // fakeAutomaton is a scriptable Automaton that records every call.
 type fakeAutomaton struct {
 	onData func(core.Message)
@@ -30,14 +33,23 @@ type fakeAutomaton struct {
 	aborts  int
 	done    bool
 	ticks   int
-	frame   *sim.Frame // returned by Tick
+	frame   *sim.Frame // copied into the pooled frame by Tick, nil listens
 	rcvd    []*sim.Frame
 }
 
 func (a *fakeAutomaton) Start(m core.Message) { a.started = append(a.started, m) }
 func (a *fakeAutomaton) Abort()               { a.aborts++; a.done = false }
 func (a *fakeAutomaton) Done() bool           { return a.done }
-func (a *fakeAutomaton) Tick() *sim.Frame     { a.ticks++; return a.frame }
+func (a *fakeAutomaton) Tick(f *sim.Frame) bool {
+	a.ticks++
+	if a.frame == nil {
+		return false
+	}
+	f.Kind = a.frame.Kind
+	f.Msg = a.frame.Msg
+	f.Payload = a.frame.Payload
+	return true
+}
 func (a *fakeAutomaton) Receive(f *sim.Frame) { a.rcvd = append(a.rcvd, f) }
 
 // deliver simulates the automaton decoding a data message: it invokes the
@@ -140,12 +152,13 @@ func TestAckDeliveredOnTickAfterDone(t *testing.T) {
 	n, aut, layer := newTestNode(t, 0, rec)
 	m := core.Message{ID: 11, Origin: 0}
 	n.Bcast(0, m)
-	n.Tick(1)
+	var fr sim.Frame
+	n.Tick(1, &fr)
 	if len(layer.acks) != 0 {
 		t.Fatal("ack before the automaton finished")
 	}
 	aut.done = true
-	n.Tick(2)
+	n.Tick(2, &fr)
 	if len(layer.acks) != 1 || layer.acks[0].ID != 11 {
 		t.Fatalf("acks = %v, want message 11", layer.acks)
 	}
@@ -202,15 +215,15 @@ func TestAbort(t *testing.T) {
 
 func TestTickForwardsFrames(t *testing.T) {
 	n, aut, _ := newTestNode(t, 0, nil)
-	if f := n.Tick(0); f != nil {
-		t.Fatalf("idle automaton transmitted %v", f)
+	var fr sim.Frame
+	if n.Tick(0, &fr) {
+		t.Fatal("idle automaton transmitted")
 	}
-	want := &sim.Frame{Kind: "data"}
-	aut.frame = want
-	if f := n.Tick(1); f != want {
-		t.Fatalf("Tick returned %v, want the automaton's frame", f)
+	aut.frame = &sim.Frame{Kind: dataKind}
+	if !n.Tick(1, &fr) || fr.Kind != dataKind {
+		t.Fatalf("Tick did not fill the pooled frame with the automaton's transmission (frame %+v)", fr)
 	}
-	in := &sim.Frame{Kind: "data", From: 9}
+	in := &sim.Frame{Kind: dataKind, From: 9}
 	n.Receive(1, in)
 	if len(aut.rcvd) != 1 || aut.rcvd[0] != in {
 		t.Fatal("Receive not forwarded to the automaton")
@@ -220,7 +233,8 @@ func TestTickForwardsFrames(t *testing.T) {
 func TestRcvDeduplication(t *testing.T) {
 	rec := core.NewRecorder()
 	n, aut, layer := newTestNode(t, 0, rec)
-	n.Tick(4) // establish the current slot for event timestamps
+	var fr sim.Frame
+	n.Tick(4, &fr) // establish the current slot for event timestamps
 	m := core.Message{ID: 20, Origin: 1}
 	aut.deliver(m)
 	aut.deliver(m) // duplicate delivery of the same message id
@@ -253,7 +267,8 @@ func TestNodeWithoutLayerOrRecorder(t *testing.T) {
 	n.Init(0, rng.New(1))
 	n.Bcast(0, core.Message{ID: 1, Origin: 0})
 	aut.done = true
-	n.Tick(1) // ack with no layer must not panic
+	var fr sim.Frame
+	n.Tick(1, &fr) // ack with no layer must not panic
 	if n.Busy() {
 		t.Fatal("node busy after layerless ack")
 	}
@@ -273,7 +288,7 @@ func TestNodeDrivenByEngine(t *testing.T) {
 			if transmit {
 				// Broadcast automaton: transmit a data frame every slot
 				// carrying the message; finish after three slots.
-				a.frame = &sim.Frame{Kind: "data", Payload: core.Message{ID: 1, Origin: 0}}
+				a.frame = &sim.Frame{Kind: dataKind, Msg: core.Message{ID: 1, Origin: 0}}
 			}
 			frames++
 			return a, nil

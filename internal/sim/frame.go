@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"sinrmac/internal/core"
+)
+
+// FrameKind identifies a protocol frame type. Kinds are interned small
+// integers rather than strings: each protocol registers its kinds once at
+// package initialisation with RegisterFrameKind, and the per-slot dispatch
+// that used to compare strings (every Receive of every node, every slot)
+// becomes an integer compare. The zero FrameKind is reserved and never
+// returned by RegisterFrameKind, so a zeroed Frame is recognisably blank.
+type FrameKind uint32
+
+var (
+	kindMu sync.Mutex
+	// kindNames[k] is the registered name of kind k; index 0 is the
+	// reserved blank kind.
+	kindNames = []string{"<none>"}
+	kindIndex = map[string]FrameKind{}
+)
+
+// RegisterFrameKind interns name and returns its kind. Registering the same
+// name again returns the same kind, so independent packages (and repeated
+// test binaries' init orders) agree on a name's identity within a process.
+// Kind values are process-local: they depend on registration order and must
+// never be persisted or compared across processes — compare the names
+// instead. Registering the empty name returns the reserved zero kind.
+func RegisterFrameKind(name string) FrameKind {
+	if name == "" {
+		return 0
+	}
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if k, ok := kindIndex[name]; ok {
+		return k
+	}
+	k := FrameKind(len(kindNames))
+	kindNames = append(kindNames, name)
+	kindIndex[name] = k
+	return k
+}
+
+// String returns the registered name of the kind, for logs and test
+// failures.
+func (k FrameKind) String() string {
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("<unregistered kind %d>", uint32(k))
+}
+
+// Frame is one physical-layer frame occupying one slot on the channel.
+//
+// # Frame lifecycle
+//
+// Frames are pooled: the engine owns one frame per node, allocated once at
+// construction, and hands node i its frame on every Tick. A node that wants
+// to transmit fills the frame's fields and returns true; the engine then
+// delivers pointers to that same frame to every receiver that decodes it.
+// No frame is ever allocated on the steady-state slot path.
+//
+// The pooling imposes two rules on protocol code:
+//
+//   - A frame (and any payload it points to) is valid only until the end of
+//     the slot it was transmitted in. The transmitting node will overwrite
+//     the frame — and any per-automaton scratch its Payload points into —
+//     on a later Tick. Receivers and observers that retain payload data
+//     beyond the Receive call must copy it.
+//   - Fields are not cleared between slots. A node that transmits kind A in
+//     one slot and kind B later leaves A's fields stale; receivers must
+//     only read the fields defined for the frame's Kind.
+//
+// Test and analysis code may still construct Frame values directly (for
+// driving a node's Receive by hand); the lifecycle rules apply only to
+// engine-pooled frames.
+type Frame struct {
+	// From is the sender's node id. The engine fills it in on transmission,
+	// so protocols do not need to set it.
+	From int
+	// Kind distinguishes protocol frame types. Protocols register their
+	// kinds once with RegisterFrameKind.
+	Kind FrameKind
+	// Msg is the typed payload slot for bcast-message frames — the common
+	// data path of every MAC in this repository. Keeping it inline avoids
+	// boxing a core.Message into Payload on every transmission.
+	Msg core.Message
+	// Payload carries any other protocol-specific payload. Hot protocols
+	// point it at per-automaton scratch (re-filled on each Tick) rather
+	// than allocating; see the lifecycle rules above.
+	Payload interface{}
+}

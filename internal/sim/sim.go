@@ -12,31 +12,35 @@
 // Node automata never see positions, the set of transmitters, or other
 // nodes' state: all coordination happens through transmitted frames, as in
 // the paper's model. The engine supports both a sequential driver and a
-// goroutine-per-worker parallel driver; both produce identical executions
-// for well-behaved (share-nothing) nodes.
+// worker-pool parallel driver; both produce identical executions for
+// well-behaved (share-nothing) nodes.
+//
+// # Frame lifecycle
+//
+// The steady-state slot path allocates nothing. The engine owns a pool of
+// frames — one per node, allocated once — and hands node i its frame on
+// every Tick; the node fills it and returns true to transmit. Frame kinds
+// are interned integers (RegisterFrameKind), and the common bcast-message
+// payload travels in the typed Frame.Msg slot instead of a boxed
+// interface. Pooled frames are valid only until the end of the slot they
+// were transmitted in: nodes and observers that retain a frame's payload
+// must copy it, and stale fields from earlier slots are never cleared (see
+// the Frame documentation for the full rules).
+//
+// The parallel driver's tick and receive phases, and a parallel channel
+// evaluator's receiver scan, all run on one persistent worker pool
+// (internal/workpool) whose goroutines are parked between phases rather
+// than respawned per slot.
 package sim
 
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"sinrmac/internal/rng"
 	"sinrmac/internal/sinr"
+	"sinrmac/internal/workpool"
 )
-
-// Frame is one physical-layer frame occupying one slot on the channel.
-// Protocols define their own Kind values and payload types.
-type Frame struct {
-	// From is the sender's node id. The engine fills it in on transmission,
-	// so protocols do not need to set it.
-	From int
-	// Kind distinguishes protocol frame types (e.g. "data", "label", "ack").
-	Kind string
-	// Payload carries protocol-specific data. Frames are passed by pointer
-	// but must be treated as immutable once handed to the engine.
-	Payload interface{}
-}
 
 // Node is a per-node protocol automaton.
 //
@@ -47,12 +51,15 @@ type Node interface {
 	// Init is called exactly once before the first slot with the node's id
 	// and a private random source.
 	Init(id int, src *rng.Source)
-	// Tick is called once per slot. Returning a non-nil frame transmits it
-	// during this slot; returning nil listens.
-	Tick(slot int64) *Frame
+	// Tick is called once per slot with the node's pooled frame. To
+	// transmit, fill f's fields and return true; to listen, return false
+	// (the frame's contents are then ignored). The frame is reused across
+	// slots and its fields are not cleared between them.
+	Tick(slot int64, f *Frame) bool
 	// Receive is called after Tick in the same slot if the node decoded a
 	// frame. A node that transmitted in this slot never receives
-	// (half-duplex).
+	// (half-duplex). The frame and its payload are valid only for the
+	// duration of the call; retain by copying.
 	Receive(slot int64, f *Frame)
 }
 
@@ -82,17 +89,23 @@ type Config struct {
 	// Seed seeds the per-node random sources. Identical seeds and nodes
 	// reproduce identical executions.
 	Seed uint64
-	// Parallel selects the goroutine-per-worker driver. The execution is
-	// identical to the sequential driver; only wall-clock time differs.
+	// Parallel selects the worker-pool driver for the tick and receive
+	// phases. The execution is identical to the sequential driver; only
+	// wall-clock time differs.
 	Parallel bool
-	// Workers bounds the number of worker goroutines used by the parallel
+	// Workers bounds the number of pool workers used by the parallel
 	// driver and by a parallel channel evaluator. Zero means GOMAXPROCS.
+	// The count is resolved once at construction (and Reset), not per
+	// slot.
 	Workers int
 	// Evaluator selects the SINR slot evaluator. Nil means the channel
 	// itself (the naive reference path); pass sinr.NewFastChannel(channel)
 	// to select the arena-backed parallel engine. The evaluator must be
 	// built over the same deployment as the channel. If it implements
-	// sinr.ParallelEvaluator, the engine wires its worker count into it.
+	// sinr.ParallelEvaluator, the engine wires its worker count into it,
+	// and if it exposes a WorkerPool the engine runs its own parallel
+	// phases on the same pool, so one set of parked goroutines serves the
+	// whole slot pipeline.
 	//
 	// Fast evaluators reuse their Reception slice across slots, so observers
 	// registered on an engine with a non-nil Evaluator must copy the slice
@@ -107,13 +120,41 @@ type Engine struct {
 	nodes     []Node
 	observers []Observer
 	cfg       Config
+	workers   int // resolved worker count, cached at construction/Reset
 
-	slot      int64
-	stats     Stats
-	frames    []*Frame // scratch: per-node frame transmitted this slot
+	slot  int64
+	stats Stats
+
+	// frames is the per-node frame pool: frames[i] is handed to node i on
+	// every Tick and delivered to its receivers on decode. Allocated once.
+	frames []Frame
+	// sent[i] records whether node i transmits this slot (parallel tick
+	// phase); the sequential phase appends to txScratch directly.
+	sent      []bool
 	txScratch []int
 	rxCounts  []int64 // scratch: per-chunk reception subtotals (parallel driver)
+
+	// pool runs the parallel tick/receive phases; shared with the
+	// evaluator when it exposes one. tickTask/recvTask are the pool task
+	// headers, allocated once so submitting a phase allocates nothing.
+	pool     *workpool.Pool
+	tickTask phaseTask
+	recvTask phaseTask
+	tickSlot int64
+	rxSlot   int64
+	rxRec    []sinr.Reception
 }
+
+// phaseTask adapts one engine phase to workpool.Task. The fn indirection
+// (a method expression, assigned once) lets both phases share the type
+// without per-slot closures.
+type phaseTask struct {
+	e  *Engine
+	fn func(e *Engine, lo, hi, worker int)
+}
+
+// RunChunk implements workpool.Task.
+func (t *phaseTask) RunChunk(lo, hi, worker int) { t.fn(t.e, lo, hi, worker) }
 
 // Stats accumulates aggregate counters over an execution.
 type Stats struct {
@@ -150,10 +191,26 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 		evaluator: evaluator,
 		nodes:     nodes,
 		cfg:       cfg,
-		frames:    make([]*Frame, len(nodes)),
+		frames:    make([]Frame, len(nodes)),
+		sent:      make([]bool, len(nodes)),
+	}
+	e.tickTask = phaseTask{e: e, fn: (*Engine).tickChunk}
+	e.recvTask = phaseTask{e: e, fn: (*Engine).recvChunk}
+	e.workers = e.resolveWorkers()
+	e.rxCounts = make([]int64, e.workers)
+	for i := range e.frames {
+		e.frames[i].From = i
 	}
 	if pe, ok := evaluator.(sinr.ParallelEvaluator); ok {
-		pe.SetWorkers(e.workerCount())
+		pe.SetWorkers(e.workers)
+	}
+	// Run the engine's own parallel phases on the evaluator's persistent
+	// pool when it has one; otherwise own a pool (only the parallel driver
+	// ever uses it).
+	if ph, ok := evaluator.(interface{ WorkerPool() *workpool.Pool }); ok {
+		e.pool = ph.WorkerPool()
+	} else if cfg.Parallel {
+		e.pool = workpool.New()
 	}
 	master := rng.New(cfg.Seed)
 	for i, n := range nodes {
@@ -166,10 +223,10 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 }
 
 // Reset rewinds the engine to slot zero over a fresh set of node automata,
-// reusing the engine's channel, evaluator and scratch storage (frame and
-// transmitter slices) instead of reallocating them. The node count must
-// match the deployment. Observers are dropped; callers re-register the ones
-// the new execution needs.
+// reusing the engine's channel, evaluator, frame pool and scratch storage
+// instead of reallocating them. The node count must match the deployment.
+// Observers are dropped; callers re-register the ones the new execution
+// needs.
 //
 // Reset re-seeds the per-node random sources exactly as NewEngine does, so
 // an engine that is Reset with the same nodes and seed replays the identical
@@ -193,7 +250,12 @@ func (e *Engine) Reset(nodes []Node, seed uint64) error {
 	e.stats = Stats{}
 	e.txScratch = e.txScratch[:0]
 	for i := range e.frames {
-		e.frames[i] = nil
+		e.frames[i] = Frame{From: i}
+		e.sent[i] = false
+	}
+	e.workers = e.resolveWorkers()
+	if len(e.rxCounts) < e.workers {
+		e.rxCounts = make([]int64, e.workers)
 	}
 	e.cfg.Seed = seed
 	master := rng.New(seed)
@@ -231,19 +293,24 @@ func (e *Engine) Node(id int) Node { return e.nodes[id] }
 func (e *Engine) Step() {
 	slot := e.slot
 
-	// Phase 1: collect transmission decisions.
+	// Phase 1: collect transmission decisions into the frame pool.
+	e.txScratch = e.txScratch[:0]
 	if e.cfg.Parallel {
-		e.tickParallel(slot)
+		e.tickSlot = slot
+		e.pool.Run(len(e.nodes), e.workers, &e.tickTask)
+		for i, sent := range e.sent {
+			if sent {
+				e.sent[i] = false
+				e.frames[i].From = i
+				e.txScratch = append(e.txScratch, i)
+			}
+		}
 	} else {
 		for i, n := range e.nodes {
-			e.frames[i] = n.Tick(slot)
-		}
-	}
-	e.txScratch = e.txScratch[:0]
-	for i, f := range e.frames {
-		if f != nil {
-			f.From = i
-			e.txScratch = append(e.txScratch, i)
+			if n.Tick(slot, &e.frames[i]) {
+				e.frames[i].From = i
+				e.txScratch = append(e.txScratch, i)
+			}
 		}
 	}
 
@@ -256,7 +323,7 @@ func (e *Engine) Step() {
 	} else {
 		for i, rec := range receptions {
 			if rec.Sender >= 0 {
-				e.nodes[i].Receive(slot, e.frames[rec.Sender])
+				e.nodes[i].Receive(slot, &e.frames[rec.Sender])
 				e.stats.Receptions++
 			}
 		}
@@ -270,7 +337,9 @@ func (e *Engine) Step() {
 	e.slot++
 }
 
-func (e *Engine) workerCount() int {
+// resolveWorkers derives the effective worker count from the configuration
+// once; Step never consults GOMAXPROCS.
+func (e *Engine) resolveWorkers() int {
 	w := e.cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -284,28 +353,27 @@ func (e *Engine) workerCount() int {
 	return w
 }
 
-func (e *Engine) tickParallel(slot int64) {
-	workers := e.workerCount()
-	var wg sync.WaitGroup
-	chunk := (len(e.nodes) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(e.nodes) {
-			hi = len(e.nodes)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				e.frames[i] = e.nodes[i].Tick(slot)
-			}
-		}(lo, hi)
+// tickChunk is the parallel tick phase's loop body: nodes [lo, hi) record
+// their transmission decision in the sent flags.
+func (e *Engine) tickChunk(lo, hi, _ int) {
+	slot := e.tickSlot
+	for i := lo; i < hi; i++ {
+		e.sent[i] = e.nodes[i].Tick(slot, &e.frames[i])
 	}
-	wg.Wait()
+}
+
+// recvChunk is the parallel receive phase's loop body: receivers [lo, hi)
+// take their deliveries, counting them into the worker's private subtotal.
+func (e *Engine) recvChunk(lo, hi, worker int) {
+	slot, rec := e.rxSlot, e.rxRec
+	count := int64(0)
+	for i := lo; i < hi; i++ {
+		if s := rec[i].Sender; s >= 0 {
+			e.nodes[i].Receive(slot, &e.frames[s])
+			count++
+		}
+	}
+	e.rxCounts[worker] = count
 }
 
 // receiveParallel delivers decoded frames on the worker pool and returns the
@@ -313,41 +381,14 @@ func (e *Engine) tickParallel(slot int64) {
 // private subtotal, so the receptions slice is scanned exactly once and the
 // sum is deterministic (integer addition over disjoint chunks).
 func (e *Engine) receiveParallel(slot int64, receptions []sinr.Reception) int64 {
-	workers := e.workerCount()
-	var wg sync.WaitGroup
-	chunk := (len(e.nodes) + workers - 1) / workers
-	if cap(e.rxCounts) < workers {
-		e.rxCounts = make([]int64, workers)
+	for i := range e.rxCounts {
+		e.rxCounts[i] = 0
 	}
-	subtotals := e.rxCounts[:workers]
-	for i := range subtotals {
-		subtotals[i] = 0
-	}
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(e.nodes) {
-			hi = len(e.nodes)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi, w int) {
-			defer wg.Done()
-			count := int64(0)
-			for i := lo; i < hi; i++ {
-				if s := receptions[i].Sender; s >= 0 {
-					e.nodes[i].Receive(slot, e.frames[s])
-					count++
-				}
-			}
-			subtotals[w] = count
-		}(lo, hi, w)
-	}
-	wg.Wait()
+	e.rxSlot, e.rxRec = slot, receptions
+	e.pool.Run(len(e.nodes), e.workers, &e.recvTask)
+	e.rxRec = nil
 	total := int64(0)
-	for _, c := range subtotals {
+	for _, c := range e.rxCounts {
 		total += c
 	}
 	return total

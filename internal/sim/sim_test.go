@@ -10,7 +10,13 @@ import (
 	"sinrmac/internal/sinr"
 )
 
-// beaconNode transmits a "beacon" frame every period slots (starting at
+// Frame kinds used by the test automata.
+var (
+	beaconKind = RegisterFrameKind("test.beacon")
+	randKind   = RegisterFrameKind("test.rand")
+)
+
+// beaconNode transmits a beacon frame every period slots (starting at
 // slot offset) and records every frame it receives.
 type beaconNode struct {
 	id       int
@@ -26,12 +32,13 @@ func (b *beaconNode) Init(id int, src *rng.Source) {
 	b.src = src
 }
 
-func (b *beaconNode) Tick(slot int64) *Frame {
+func (b *beaconNode) Tick(slot int64, f *Frame) bool {
 	if b.period > 0 && slot%b.period == b.offset {
 		b.sent++
-		return &Frame{Kind: "beacon", Payload: b.id}
+		f.Kind = beaconKind
+		return true
 	}
-	return nil
+	return false
 }
 
 func (b *beaconNode) Receive(slot int64, f *Frame) {
@@ -50,12 +57,13 @@ type randomNode struct {
 
 func (r *randomNode) Init(id int, src *rng.Source) { r.id, r.src = id, src }
 
-func (r *randomNode) Tick(slot int64) *Frame {
+func (r *randomNode) Tick(slot int64, f *Frame) bool {
 	if r.src.Bernoulli(r.p) {
 		r.sent++
-		return &Frame{Kind: "rand"}
+		f.Kind = randKind
+		return true
 	}
-	return nil
+	return false
 }
 
 func (r *randomNode) Receive(slot int64, f *Frame) { r.received++ }
@@ -526,5 +534,129 @@ func TestEvaluatorValidation(t *testing.T) {
 	}
 	if eng.Evaluator() != sinr.ChannelEvaluator(fast) {
 		t.Fatal("explicit evaluator not selected")
+	}
+}
+
+// TestRegisterFrameKind pins the interning contract: one kind per name,
+// stable on re-registration, zero reserved, names recoverable.
+func TestRegisterFrameKind(t *testing.T) {
+	a := RegisterFrameKind("test.kind.a")
+	b := RegisterFrameKind("test.kind.b")
+	if a == 0 || b == 0 {
+		t.Fatal("registered kind collided with the reserved zero kind")
+	}
+	if a == b {
+		t.Fatal("distinct names interned to the same kind")
+	}
+	if again := RegisterFrameKind("test.kind.a"); again != a {
+		t.Fatalf("re-registering returned %v, want %v", again, a)
+	}
+	if got := a.String(); got != "test.kind.a" {
+		t.Fatalf("String() = %q", got)
+	}
+	if RegisterFrameKind("") != 0 {
+		t.Fatal("empty name did not map to the reserved kind")
+	}
+	var zero FrameKind
+	if zero.String() != "<none>" {
+		t.Fatalf("zero kind String() = %q", zero.String())
+	}
+}
+
+// frameProbe records the frame pointers handed to it.
+type frameProbe struct {
+	id      int
+	tickPtr []*Frame
+	rcvPtr  []*Frame
+	period  int64
+}
+
+func (p *frameProbe) Init(id int, src *rng.Source) { p.id = id }
+
+func (p *frameProbe) Tick(slot int64, f *Frame) bool {
+	p.tickPtr = append(p.tickPtr, f)
+	if p.period > 0 && slot%p.period == 0 {
+		f.Kind = beaconKind
+		return true
+	}
+	return false
+}
+
+func (p *frameProbe) Receive(slot int64, f *Frame) { p.rcvPtr = append(p.rcvPtr, f) }
+
+// TestPooledFrameLifecycle pins the frame-pool contract: every Tick of a
+// node sees the same pooled frame, a receiver is handed the sender's pooled
+// frame (not a copy), and the engine fills in From.
+func TestPooledFrameLifecycle(t *testing.T) {
+	ch := twoNodeChannel(t, 5)
+	sender := &frameProbe{period: 1}
+	listener := &frameProbe{}
+	eng, err := NewEngine(ch, []Node{sender, listener}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(4, nil)
+	for i, f := range sender.tickPtr[1:] {
+		if f != sender.tickPtr[0] {
+			t.Fatalf("sender's pooled frame changed identity at slot %d", i+1)
+		}
+	}
+	if len(listener.rcvPtr) != 4 {
+		t.Fatalf("listener received %d frames, want 4", len(listener.rcvPtr))
+	}
+	for _, f := range listener.rcvPtr {
+		if f != sender.tickPtr[0] {
+			t.Fatal("receiver was not handed the sender's pooled frame")
+		}
+		if f.From != 0 || f.Kind != beaconKind {
+			t.Fatalf("delivered frame = %+v, want From=0 Kind=beacon", f)
+		}
+	}
+}
+
+// TestEngineStepAllocFree is the slot-pipeline allocation budget: once the
+// engine and evaluator are warm, a steady-state Step — tick, evaluate,
+// deliver — performs zero heap allocations, on the sequential driver and on
+// the pooled parallel driver, with the evaluator on both its dense and
+// sparse paths.
+func TestEngineStepAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		parallel bool
+		workers  int
+		p        float64 // per-slot transmit probability (sets tx density)
+	}{
+		{"sequential/dense", false, 1, 0.5},
+		{"sequential/sparse", false, 1, 0.02},
+		{"parallel/sparse", true, 4, 0.02},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := rng.New(31)
+			pos := make([]geom.Point, 400)
+			for i := range pos {
+				pos[i] = geom.Point{X: src.Float64() * 90, Y: src.Float64() * 90}
+			}
+			ch, err := sinr.NewChannel(sinr.DefaultParams(12), pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := sinr.NewFastChannel(ch)
+			defer fast.Close()
+			nodes := make([]Node, len(pos))
+			for i := range nodes {
+				nodes[i] = &randomNode{p: tc.p}
+			}
+			eng, err := NewEngine(ch, nodes, Config{
+				Seed: 3, Parallel: tc.parallel, Workers: tc.workers, Evaluator: fast,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Run(30, nil) // warm the pool, scratch and tx buffers
+			allocs := testing.AllocsPerRun(50, eng.Step)
+			if allocs != 0 {
+				t.Errorf("steady-state Step allocates %.1f objects per slot, want 0", allocs)
+			}
+		})
 	}
 }

@@ -30,3 +30,34 @@ func BenchWorkload(n int, seed uint64) (*Channel, []int, error) {
 	}
 	return ch, tx, nil
 }
+
+// SparseBenchWorkload builds the sparse-slot benchmark workload: n nodes
+// drawn uniformly from an 8√n × 8√n square (a quarter of BenchWorkload's
+// density) with ⌈√n⌉ distinct random transmitters — the regime a backoff
+// protocol like decay spends most of its slots in, where only a small
+// fraction of receivers lies within culling range of any transmitter. It is
+// the fixed definition behind the sparse-vs-dense entries of
+// BENCH_macbench.json, so those measurements stay comparable across PRs.
+func SparseBenchWorkload(n int, seed uint64) (*Channel, []int, error) {
+	src := rng.New(seed)
+	side := 8 * math.Sqrt(float64(n))
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * side, Y: src.Float64() * side}
+	}
+	ch, err := NewChannel(DefaultParams(12), pos)
+	if err != nil {
+		return nil, nil, err
+	}
+	k := int(math.Ceil(math.Sqrt(float64(n))))
+	seen := make(map[int]bool, k)
+	tx := make([]int, 0, k)
+	for len(tx) < k {
+		id := src.Intn(n)
+		if !seen[id] {
+			seen[id] = true
+			tx = append(tx, id)
+		}
+	}
+	return ch, tx, nil
+}

@@ -3,9 +3,9 @@ package sinr
 import (
 	"math"
 	"runtime"
-	"sync"
 
 	"sinrmac/internal/geom"
+	"sinrmac/internal/workpool"
 )
 
 // DefaultMatrixThreshold is the largest deployment size for which
@@ -22,6 +22,29 @@ const DefaultMatrixThreshold = 2048
 // n ≈ 8k. Beyond the budget the earliest transmitters keep their columns
 // and later ones fall back to recomputation.
 const DefaultColumnCacheBytes = 256 << 20
+
+// sparseCoverageMax is the crossover of the default (adaptive) sparse
+// heuristic: a slot takes the sender-centric sparse path when the estimated
+// fraction of nodes covered by the transmitters' culling balls is at most
+// this value.
+//
+// The heuristic weighs the two slot costs. The dense scan visits all n
+// receivers and sums k powers at each: Θ(n·k), in receiver order (cache
+// friendly). The sparse path enumerates only the receivers within
+// cullRadius of some transmitter — every other receiver provably decodes
+// nothing — at a cost of Σ_s |ball(s)| grid probes plus |candidates|·k
+// arithmetic, but touches the candidates in scattered order. Under a
+// uniform-deployment model with per-ball coverage probability p =
+// ballArea/deploymentArea, the expected candidate fraction after k balls is
+// 1-(1-p)^k; the evaluator computes exactly that estimate per slot (one Exp
+// from precomputed ln(1-p)) and goes sparse below the threshold. Measured
+// on the canonical benchmark workloads the true crossover sits near an
+// estimated coverage of 0.8 (the arithmetic saved equals the enumeration
+// plus locality cost); 0.6 keeps a safety margin for the estimate's
+// uniformity assumption, so dense slots (broadcast storms, all-transmit
+// probes, discovery blocks in clustered deployments) stay on the scan that
+// streams receivers sequentially.
+const sparseCoverageMax = 0.6
 
 // cullSlack is the relative safety margin applied to the far-field culling
 // thresholds. Culling is only an optimisation: a sender is skipped by the
@@ -48,6 +71,17 @@ type FastOptions struct {
 	// power-column cache. Zero means DefaultColumnCacheBytes; a negative
 	// value disables the cache (every power is recomputed each slot).
 	ColumnCacheBytes int64
+	// SparseFactor overrides the sparse-path crossover. Zero (the default)
+	// selects the adaptive heuristic: a slot is evaluated
+	// sender-centrically when the estimated ball coverage of its
+	// transmitters stays below sparseCoverageMax (see that constant). A
+	// positive value pins a fixed crossover instead — sparse when
+	// k·SparseFactor ≤ n, with 1 forcing the sparse path on every slot —
+	// and a negative value disables the sparse path entirely (every slot
+	// scans all n receivers, the pre-sparse behaviour the benchmarks
+	// compare against). The differential tests use the overrides to pin
+	// each path; simulations keep the default.
+	SparseFactor int
 }
 
 // FastChannel is the scalable SINR slot evaluator. It produces receptions
@@ -55,27 +89,36 @@ type FastOptions struct {
 // avoiding its per-slot costs:
 //
 //   - all result and scratch storage lives in a per-channel arena that is
-//     reused across slots (no per-slot map or slice allocations);
+//     reused across slots (no per-slot map or slice allocations), and only
+//     the receivers that decoded something in the previous slot are reset,
+//     so a quiet slot costs O(k) rather than O(n);
 //   - for deployments up to MatrixThreshold nodes the received powers are
 //     precomputed once into an n×n matrix, eliminating every math.Pow from
 //     the slot path;
-//   - above the threshold a uniform spatial grid (internal/geom) buckets the
-//     deployment so that receivers with no transmitter inside the
-//     transmission range are culled before any interference is summed, and
-//     each remaining receiver computes every received power exactly once
-//     (the naive path computes each twice);
-//   - on the grid path a memory-bounded lazy cache keeps the power column
-//     of every node that has ever transmitted (positions are immutable, so
-//     the column never changes), removing math.Pow from the steady-state
-//     slot path entirely while ColumnCacheBytes lasts;
-//   - receivers are scanned by a bounded pool of worker goroutines; the
-//     partition is deterministic, so results are identical at any worker
-//     count.
+//   - above the threshold each receiver computes every received power
+//     exactly once (the naive path computes each twice), with a
+//     memory-bounded lazy cache keeping the power column of every node
+//     that has ever transmitted (positions are immutable, so the column
+//     never changes);
+//   - a uniform spatial grid (internal/geom) buckets the deployment in both
+//     regimes. On dense slots above the matrix threshold it culls receivers
+//     with no transmitter inside the transmission range before any
+//     interference is summed; on sparse slots (estimated transmitter-ball
+//     coverage below sparseCoverageMax, either regime) it drives the
+//     sender-centric path, which enumerates only the receivers inside some
+//     transmitter's ball — O(Σ_s |ball(s)|) grid work plus |candidates|·k
+//     arithmetic — instead of scanning all n receivers;
+//   - receivers are scanned by a persistent pool of worker goroutines
+//     (internal/workpool) woken by a channel handoff instead of spawned per
+//     slot; the partition is deterministic, so results are identical at any
+//     worker count.
 //
 // Culling never changes results: a sender whose lone-transmitter SINR is
 // below β cannot be decoded under any interference (the denominator only
-// grows), and both cull thresholds carry a conservative slack so borderline
-// pairs fall through to the exact reference arithmetic.
+// grows), the sparse path skips exactly the receivers whose every received
+// power is provably below that bound, and both cull thresholds carry a
+// conservative slack so borderline pairs fall through to the exact
+// reference arithmetic.
 //
 // The Reception slice returned by SlotReceptions is owned by the evaluator
 // and valid only until the next call; callers that retain it must copy.
@@ -94,7 +137,12 @@ type FastChannel struct {
 	cullRadius float64
 
 	mat  []float64  // n×n received-power matrix (mat[r*n+s]), nil in grid mode
-	grid *geom.Grid // all-node spatial index, nil in matrix mode
+	grid *geom.Grid // all-node spatial index (both modes)
+
+	sparseFactor int
+	// logBallMiss is ln(1 - ballArea/deploymentArea), precomputed for the
+	// adaptive per-slot coverage estimate 1-exp(k·logBallMiss).
+	logBallMiss float64
 
 	// Lazy column cache (grid mode): cols[s] is the received power of
 	// sender s at every node, filled the first time s transmits, up to
@@ -105,11 +153,30 @@ type FastChannel struct {
 	colBudget     int
 	colBudgetInit int
 
+	pool *workpool.Pool
+	// chunkFn is the loop body of the current parallel scan; RunChunk
+	// dispatches to it. Method expressions rather than closures keep the
+	// slot path allocation-free.
+	chunkFn func(f *FastChannel, lo, hi, worker int)
+
 	out    []Reception
 	isTx   []bool
 	txPred func(id int) bool // reusable predicate over isTx for grid queries
 	rows   [][]float64       // per-worker received-power scratch (grid mode)
 	tx     []int             // transmitter set of the slot being evaluated
+
+	// decoded[w] lists the receivers worker w decoded a frame for in the
+	// previous slot; resetting exactly those entries restores the all -1
+	// invariant of out without an O(n) sweep.
+	decoded [][]int
+
+	// Sparse-path scratch: the deduplicated candidate receivers of the
+	// current slot, the per-transmitter ball buffer, and the visit stamps
+	// that dedup the ball union without clearing between slots.
+	candidates []int
+	ball       []int
+	mark       []uint32
+	markGen    uint32
 }
 
 var _ ParallelEvaluator = (*FastChannel)(nil)
@@ -130,24 +197,49 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 		ch:        c,
 		pos:       c.pos,
 		n:         n,
-		workers:   opt.Workers,
 		beta:      c.params.Beta,
 		noise:     c.params.Noise,
 		cullPower: c.params.Beta * c.params.Noise * (1 - cullSlack),
 		out:       make([]Reception, n),
 		isTx:      make([]bool, n),
+		mark:      make([]uint32, n),
+		pool:      workpool.New(),
+	}
+	f.setWorkers(opt.Workers)
+	f.txPred = func(id int) bool { return f.isTx[id] }
+	f.sparseFactor = opt.SparseFactor
+	for i := range f.out {
+		f.out[i].Sender = -1
 	}
 	// Any sender within the near-field clamp distance (1) radiates maximum
 	// power, so the candidate radius never drops below it.
 	f.cullRadius = math.Max(c.params.Range(), 1) * (1 + cullSlack)
-	f.txPred = func(id int) bool { return f.isTx[id] }
+	// The grid is built in both regimes: the matrix path uses it only for
+	// the sparse sender-centric enumeration, the grid path also for
+	// dense-slot receiver culling.
+	f.grid = geom.NewGrid(f.cullRadius)
+	for i, p := range f.pos {
+		f.grid.Insert(i, p)
+	}
+	// Precompute the per-ball miss probability for the adaptive sparse
+	// crossover. Clamping each bounding-box dimension to the ball diameter
+	// keeps the density estimate meaningful for degenerate (line-like or
+	// tiny) deployments: the reachable region around a line of length L is
+	// a strip of area ≈ L·2r, not the zero-area box.
+	box := geom.BoundingBox(f.pos)
+	area := math.Max(box.Width(), 2*f.cullRadius) * math.Max(box.Height(), 2*f.cullRadius)
+	miss := 1 - math.Pi*f.cullRadius*f.cullRadius/area
+	if miss <= 0 {
+		// A single ball covers the whole deployment: the estimate is total
+		// coverage for any k ≥ 1, so the adaptive heuristic always scans
+		// densely.
+		f.logBallMiss = math.Inf(-1)
+	} else {
+		f.logBallMiss = math.Log(miss)
+	}
 	if n <= threshold {
 		f.mat = buildPowerMatrix(c)
 	} else {
-		f.grid = geom.NewGrid(f.cullRadius)
-		for i, p := range f.pos {
-			f.grid.Insert(i, p)
-		}
 		budget := opt.ColumnCacheBytes
 		if budget == 0 {
 			budget = DefaultColumnCacheBytes
@@ -164,11 +256,12 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 // Fork returns an evaluator that shares f's immutable state — the underlying
 // channel, node positions, precomputed n×n power matrix and spatial grid —
 // while owning private mutable scratch (reception slice, transmitter flags,
-// per-worker rows) and, on the grid path, a private lazy column cache with a
-// fresh budget. Forks may evaluate slots concurrently with each other and
-// with f. The experiment scheduler hands each trial worker its own fork, so
-// the power matrix of a sweep point's deployment is built once and shared
-// across every parallel trial instead of being rebuilt per trial.
+// per-worker rows, sparse candidate buffers, worker pool) and, on the grid
+// path, a private lazy column cache with a fresh budget. Forks may evaluate
+// slots concurrently with each other and with f. The experiment scheduler
+// hands each trial worker its own fork, so the power matrix of a sweep
+// point's deployment is built once and shared across every parallel trial
+// instead of being rebuilt per trial.
 func (f *FastChannel) Fork() *FastChannel {
 	g := &FastChannel{
 		ch:            f.ch,
@@ -181,17 +274,30 @@ func (f *FastChannel) Fork() *FastChannel {
 		cullRadius:    f.cullRadius,
 		mat:           f.mat,
 		grid:          f.grid,
+		sparseFactor:  f.sparseFactor,
+		logBallMiss:   f.logBallMiss,
 		colBudgetInit: f.colBudgetInit,
 		out:           make([]Reception, f.n),
 		isTx:          make([]bool, f.n),
+		mark:          make([]uint32, f.n),
+		pool:          workpool.New(),
 	}
 	g.txPred = func(id int) bool { return g.isTx[id] }
-	if g.grid != nil {
+	for i := range g.out {
+		g.out[i].Sender = -1
+	}
+	if f.mat == nil {
 		g.cols = make([][]float64, g.n)
 		g.colBudget = g.colBudgetInit
 	}
 	return g
 }
+
+// Close releases the evaluator's worker-pool goroutines. It is optional —
+// an unreachable evaluator's pool is reclaimed by the runtime — but tests
+// and drivers that construct many evaluators call it to bound the live
+// goroutine count deterministically.
+func (f *FastChannel) Close() { f.pool.Close() }
 
 // ensureColumns fills the power columns of any transmitter that does not
 // have one yet, while the cache budget lasts. It runs before the parallel
@@ -235,15 +341,61 @@ func (f *FastChannel) NumNodes() int { return f.n }
 // Channel returns the underlying naive channel.
 func (f *FastChannel) Channel() *Channel { return f.ch }
 
+// WorkerPool returns the evaluator's persistent worker pool. sim.Engine
+// runs its own parallel phases (tick, receive) on the same pool, so one
+// set of parked goroutines serves the whole slot pipeline.
+func (f *FastChannel) WorkerPool() *workpool.Pool { return f.pool }
+
 // SetWorkers implements ParallelEvaluator.
-func (f *FastChannel) SetWorkers(workers int) { f.workers = workers }
+func (f *FastChannel) SetWorkers(workers int) { f.setWorkers(workers) }
+
+// setWorkers resolves and caches the effective worker count once, instead
+// of consulting runtime.GOMAXPROCS on every slot.
+func (f *FastChannel) setWorkers(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > f.n {
+		workers = f.n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	f.workers = workers
+}
+
+// RunChunk implements workpool.Task by dispatching to the loop body of the
+// current scan; the evaluator itself is the task value, so submitting a
+// scan to the pool allocates nothing.
+func (f *FastChannel) RunChunk(lo, hi, worker int) { f.chunkFn(f, lo, hi, worker) }
+
+// runChunks evaluates fn over [0, n) on the worker pool, growing the
+// per-worker scratch first.
+func (f *FastChannel) runChunks(n int, fn func(f *FastChannel, lo, hi, worker int)) {
+	workers := f.workers
+	if len(f.rows) < workers {
+		f.rows = append(f.rows, make([][]float64, workers-len(f.rows))...)
+	}
+	for len(f.decoded) < workers {
+		f.decoded = append(f.decoded, nil)
+	}
+	f.chunkFn = fn
+	f.pool.Run(n, workers, f)
+	f.chunkFn = nil
+}
 
 // SlotReceptions implements ChannelEvaluator. The returned slice is reused
 // by the next call.
 func (f *FastChannel) SlotReceptions(transmitters []int) []Reception {
 	out := f.out
-	for i := range out {
-		out[i].Sender = -1
+	// Between calls out is all -1 except the entries the previous slot
+	// decoded; resetting those restores the invariant without touching the
+	// other n-k receivers.
+	for w, dec := range f.decoded {
+		for _, r := range dec {
+			out[r].Sender = -1
+		}
+		f.decoded[w] = dec[:0]
 	}
 	if len(transmitters) == 0 {
 		return out
@@ -251,14 +403,21 @@ func (f *FastChannel) SlotReceptions(transmitters []int) []Reception {
 	for _, t := range transmitters {
 		f.isTx[t] = true
 	}
-	// Method expressions rather than closures keep the single-worker slot
-	// path allocation-free.
 	f.tx = transmitters
-	if f.mat != nil {
-		f.forEachReceiverChunk((*FastChannel).matrixChunk)
-	} else {
+	switch {
+	case f.useSparse(len(transmitters)):
+		f.buildCandidates(transmitters)
+		if f.mat == nil {
+			f.ensureColumns(transmitters)
+			f.runChunks(len(f.candidates), (*FastChannel).sparseGridChunk)
+		} else {
+			f.runChunks(len(f.candidates), (*FastChannel).sparseMatrixChunk)
+		}
+	case f.mat != nil:
+		f.runChunks(f.n, (*FastChannel).matrixChunk)
+	default:
 		f.ensureColumns(transmitters)
-		f.forEachReceiverChunk((*FastChannel).gridChunk)
+		f.runChunks(f.n, (*FastChannel).gridChunk)
 	}
 	f.tx = nil
 	for _, t := range transmitters {
@@ -267,9 +426,58 @@ func (f *FastChannel) SlotReceptions(transmitters []int) []Reception {
 	return out
 }
 
+// useSparse decides the path of a slot with k ≥ 1 transmitters: the
+// explicit SparseFactor override when one was configured, otherwise the
+// adaptive coverage estimate (see sparseCoverageMax).
+func (f *FastChannel) useSparse(k int) bool {
+	switch {
+	case f.sparseFactor < 0:
+		return false
+	case f.sparseFactor > 0:
+		return k*f.sparseFactor <= f.n
+	default:
+		return 1-math.Exp(float64(k)*f.logBallMiss) <= sparseCoverageMax
+	}
+}
+
+// buildCandidates fills f.candidates with the deduplicated union of the
+// transmitters' culling balls: exactly the receivers for which some
+// transmitter lies within cullRadius, i.e. the receivers the dense grid
+// path would not cull. Every other node's received powers are all provably
+// below cullPower, so its reception is -1 without evaluation. The visit
+// stamps dedup overlapping balls without clearing state between slots.
+func (f *FastChannel) buildCandidates(tx []int) {
+	f.markGen++
+	if f.markGen == 0 { // stamp wraparound: reset once every 2^32 slots
+		for i := range f.mark {
+			f.mark[i] = 0
+		}
+		f.markGen = 1
+	}
+	gen := f.markGen
+	f.candidates = f.candidates[:0]
+	for _, s := range tx {
+		f.ball = f.grid.AppendWithin(f.ball[:0], f.pos[s], f.cullRadius)
+		for _, id := range f.ball {
+			if f.mark[id] != gen {
+				f.mark[id] = gen
+				f.candidates = append(f.candidates, id)
+			}
+		}
+	}
+}
+
+// The four chunk evaluators below share one decode structure — total
+// received power over all transmitters, then the first sender meeting the
+// SINR threshold wins (at most one can, since β > 1) — but inline it
+// rather than calling a helper so each path keeps its own power source
+// (matrix row, cached column, recomputation) and receiver enumeration
+// (dense index range vs candidate list) without indirection.
+
 // matrixChunk evaluates receivers [lo, hi) against the cached power matrix.
-func (f *FastChannel) matrixChunk(lo, hi, _ int) {
+func (f *FastChannel) matrixChunk(lo, hi, worker int) {
 	tx := f.tx
+	dec := f.decoded[worker]
 	for r := lo; r < hi; r++ {
 		if f.isTx[r] {
 			continue // half-duplex: a transmitting node cannot receive
@@ -286,10 +494,43 @@ func (f *FastChannel) matrixChunk(lo, hi, _ int) {
 			}
 			if signal/(total-signal+f.noise) >= f.beta {
 				f.out[r].Sender = s
+				dec = append(dec, r)
 				break
 			}
 		}
 	}
+	f.decoded[worker] = dec
+}
+
+// sparseMatrixChunk evaluates the slot's candidate receivers [lo, hi) (by
+// candidate index) against the cached power matrix. The arithmetic is
+// identical to matrixChunk; only the receiver enumeration differs.
+func (f *FastChannel) sparseMatrixChunk(lo, hi, worker int) {
+	tx := f.tx
+	dec := f.decoded[worker]
+	for i := lo; i < hi; i++ {
+		r := f.candidates[i]
+		if f.isTx[r] {
+			continue
+		}
+		row := f.mat[r*f.n : (r+1)*f.n]
+		total := 0.0
+		for _, s := range tx {
+			total += row[s]
+		}
+		for _, s := range tx {
+			signal := row[s]
+			if signal < f.cullPower {
+				continue
+			}
+			if signal/(total-signal+f.noise) >= f.beta {
+				f.out[r].Sender = s
+				dec = append(dec, r)
+				break
+			}
+		}
+	}
+	f.decoded[worker] = dec
 }
 
 // gridChunk evaluates receivers [lo, hi) on the spatial-grid far-field
@@ -298,6 +539,7 @@ func (f *FastChannel) matrixChunk(lo, hi, _ int) {
 // into the worker's scratch row.
 func (f *FastChannel) gridChunk(lo, hi, worker int) {
 	tx := f.tx
+	dec := f.decoded[worker]
 	row := f.rows[worker]
 	if cap(row) < len(tx) {
 		row = make([]float64, len(tx))
@@ -330,47 +572,55 @@ func (f *FastChannel) gridChunk(lo, hi, worker int) {
 			}
 			if signal/(total-signal+f.noise) >= f.beta {
 				f.out[r].Sender = s
+				dec = append(dec, r)
 				break
 			}
 		}
 	}
+	f.decoded[worker] = dec
 }
 
-// forEachReceiverChunk partitions the receiver index space into contiguous
-// chunks and runs fn over them on up to f.workers goroutines. The partition
-// depends only on the deployment size and worker count, and chunks are
-// disjoint, so evaluation is deterministic and race-free.
-func (f *FastChannel) forEachReceiverChunk(fn func(f *FastChannel, lo, hi, worker int)) {
-	workers := f.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// sparseGridChunk evaluates the slot's candidate receivers [lo, hi) (by
+// candidate index) on the grid path. Candidates are exactly the receivers
+// AnyWithin would pass, so the existence probe is skipped; the power
+// arithmetic is identical to gridChunk.
+func (f *FastChannel) sparseGridChunk(lo, hi, worker int) {
+	tx := f.tx
+	dec := f.decoded[worker]
+	row := f.rows[worker]
+	if cap(row) < len(tx) {
+		row = make([]float64, len(tx))
+		f.rows[worker] = row
 	}
-	if workers > f.n {
-		workers = f.n
-	}
-	if len(f.rows) < workers {
-		f.rows = append(f.rows, make([][]float64, workers-len(f.rows))...)
-	}
-	if workers <= 1 {
-		fn(f, 0, f.n, 0)
-		return
-	}
-	chunk := (f.n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > f.n {
-			hi = f.n
+	row = row[:len(tx)]
+	for i := lo; i < hi; i++ {
+		r := f.candidates[i]
+		if f.isTx[r] {
+			continue
 		}
-		if lo >= hi {
-			break
+		p := f.pos[r]
+		total := 0.0
+		for j, s := range tx {
+			var pw float64
+			if col := f.cols[s]; col != nil {
+				pw = col[r]
+			} else {
+				pw = f.ch.params.ReceivedPower(f.pos[s].Dist(p))
+			}
+			row[j] = pw
+			total += pw
 		}
-		wg.Add(1)
-		go func(lo, hi, w int) {
-			defer wg.Done()
-			fn(f, lo, hi, w)
-		}(lo, hi, w)
+		for j, s := range tx {
+			signal := row[j]
+			if signal < f.cullPower {
+				continue
+			}
+			if signal/(total-signal+f.noise) >= f.beta {
+				f.out[r].Sender = s
+				dec = append(dec, r)
+				break
+			}
+		}
 	}
-	wg.Wait()
+	f.decoded[worker] = dec
 }

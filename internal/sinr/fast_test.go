@@ -11,15 +11,27 @@ import (
 
 // fastVariants returns the fast-evaluator configurations the differential
 // tests exercise: the cached-matrix path and the spatial-grid far-field
-// path, each at one and several workers.
-func fastVariants(ch *Channel) map[string]*FastChannel {
-	return map[string]*FastChannel{
-		"matrix/1w":    NewFastChannel(ch, FastOptions{Workers: 1}),
-		"matrix/4w":    NewFastChannel(ch, FastOptions{Workers: 4}),
-		"grid/1w":      NewFastChannel(ch, FastOptions{Workers: 1, MatrixThreshold: -1}),
-		"grid/4w":      NewFastChannel(ch, FastOptions{Workers: 4, MatrixThreshold: -1}),
-		"grid/nocache": NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, ColumnCacheBytes: -1}),
+// path, each at one and several workers, with the sparse sender-centric
+// crossover forced on, forced off and left at its default. The evaluators'
+// worker pools are released when the test finishes.
+func fastVariants(t testing.TB, ch *Channel) map[string]*FastChannel {
+	variants := map[string]*FastChannel{
+		"matrix/1w":       NewFastChannel(ch, FastOptions{Workers: 1}),
+		"matrix/4w":       NewFastChannel(ch, FastOptions{Workers: 4}),
+		"matrix/nosparse": NewFastChannel(ch, FastOptions{Workers: 2, SparseFactor: -1}),
+		"matrix/sparse":   NewFastChannel(ch, FastOptions{Workers: 2, SparseFactor: 1}),
+		"grid/1w":         NewFastChannel(ch, FastOptions{Workers: 1, MatrixThreshold: -1}),
+		"grid/4w":         NewFastChannel(ch, FastOptions{Workers: 4, MatrixThreshold: -1}),
+		"grid/nosparse":   NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: -1}),
+		"grid/sparse":     NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: 1}),
+		"grid/nocache":    NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, ColumnCacheBytes: -1}),
 	}
+	t.Cleanup(func() {
+		for _, f := range variants {
+			f.Close()
+		}
+	})
+	return variants
 }
 
 // assertEquivalent checks every fast variant against the naive reference for
@@ -30,7 +42,7 @@ func fastVariants(ch *Channel) map[string]*FastChannel {
 func assertEquivalent(t *testing.T, ch *Channel, variants map[string]*FastChannel, tx []int, label string) {
 	t.Helper()
 	if variants == nil {
-		variants = fastVariants(ch)
+		variants = fastVariants(t, ch)
 	}
 	want := ch.SlotReceptions(tx)
 	for name, fast := range variants {
@@ -79,7 +91,7 @@ func TestSlotReceptionsEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				variants := fastVariants(ch)
+				variants := fastVariants(t, ch)
 				label := fmt.Sprintf("case %d (n=%d)", c, n)
 				// Several independent transmitter sets over the same
 				// evaluators: the second and later slots run on warm
@@ -100,8 +112,91 @@ func TestSlotReceptionsEquivalence(t *testing.T) {
 					all[i] = i
 				}
 				assertEquivalent(t, ch, variants, all, label+" all-tx")
+				// Release the case's pool goroutines eagerly rather than
+				// letting hundreds of evaluators park helpers until the
+				// subtest's deferred cleanup runs.
+				for _, f := range variants {
+					f.Close()
+				}
 			}
 		})
+	}
+}
+
+// TestSparseSenderCentricEquivalence is the dedicated differential test of
+// the sparse sender-centric path: across transmitter densities k = 1, √n
+// and n/4 and worker counts 1 and 4, the sparse path (forced on with
+// SparseFactor 1) must reproduce the naive reference — and therefore the
+// dense scan, which is held to the same reference elsewhere — bit for bit,
+// on both the matrix and the grid regime. Slots are evaluated repeatedly on
+// the same evaluators so the second and later slots run on warm candidate
+// buffers and visit stamps.
+func TestSparseSenderCentricEquivalence(t *testing.T) {
+	src := rng.New(0x5a135)
+	const n = 360
+	side := 5 * math.Sqrt(float64(n))
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * side, Y: src.Float64() * side}
+	}
+	ch, err := NewChannel(DefaultParams(14), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	densities := []struct {
+		name string
+		k    int
+	}{
+		{"k=1", 1},
+		{"k=sqrt(n)", int(math.Sqrt(n))},
+		{"k=n/4", n / 4},
+	}
+	for _, regime := range []struct {
+		name      string
+		threshold int
+	}{
+		{"matrix", 0},
+		{"grid", -1},
+	} {
+		for _, workers := range []int{1, 4} {
+			sparse := NewFastChannel(ch, FastOptions{
+				Workers: workers, MatrixThreshold: regime.threshold, SparseFactor: 1,
+			})
+			dense := NewFastChannel(ch, FastOptions{
+				Workers: workers, MatrixThreshold: regime.threshold, SparseFactor: -1,
+			})
+			for _, d := range densities {
+				for slot := 0; slot < 4; slot++ {
+					tx := make([]int, 0, d.k)
+					for len(tx) < d.k {
+						id := src.Intn(n)
+						dup := false
+						for _, s := range tx {
+							if s == id {
+								dup = true
+								break
+							}
+						}
+						if !dup {
+							tx = append(tx, id)
+						}
+					}
+					want := ch.SlotReceptions(tx)
+					label := fmt.Sprintf("%s/%dw %s slot %d", regime.name, workers, d.name, slot)
+					for name, fast := range map[string]*FastChannel{"sparse": sparse, "dense": dense} {
+						got := fast.SlotReceptions(tx)
+						for r := range want {
+							if got[r] != want[r] {
+								t.Fatalf("%s %s: node %d decoded %d, reference says %d (tx=%v)",
+									label, name, r, got[r].Sender, want[r].Sender, tx)
+							}
+						}
+					}
+				}
+			}
+			sparse.Close()
+			dense.Close()
+		}
 	}
 }
 
@@ -310,15 +405,19 @@ func TestFastChannelAllocFree(t *testing.T) {
 		name string
 		opt  FastOptions
 	}{
-		{"matrix", FastOptions{Workers: 1}},
-		{"grid", FastOptions{Workers: 1, MatrixThreshold: -1}},
+		{"matrix/dense", FastOptions{Workers: 1, SparseFactor: -1}},
+		{"matrix/sparse", FastOptions{Workers: 1, SparseFactor: 1}},
+		{"grid/dense", FastOptions{Workers: 1, MatrixThreshold: -1, SparseFactor: -1}},
+		{"grid/sparse", FastOptions{Workers: 1, MatrixThreshold: -1, SparseFactor: 1}},
+		{"matrix/sparse/4w", FastOptions{Workers: 4, SparseFactor: 1}},
 	} {
 		f := NewFastChannel(ch, tc.opt)
-		f.SlotReceptions(tx) // warm the scratch rows
+		f.SlotReceptions(tx) // warm the scratch rows and candidate buffers
 		allocs := testing.AllocsPerRun(20, func() { f.SlotReceptions(tx) })
 		if allocs != 0 {
 			t.Errorf("%s path allocates %.1f objects per slot, want 0", tc.name, allocs)
 		}
+		f.Close()
 	}
 }
 

@@ -1,0 +1,147 @@
+package workpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// sumTask sums indices into per-worker subtotals and records which worker
+// handled each index.
+type sumTask struct {
+	got     []int32
+	workers []int32
+}
+
+func (t *sumTask) RunChunk(lo, hi, worker int) {
+	for i := lo; i < hi; i++ {
+		atomic.AddInt32(&t.got[i], 1)
+		t.workers[i] = int32(worker)
+	}
+}
+
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	p := New()
+	defer p.Close()
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, workers := range []int{0, 1, 2, 3, 8, 200} {
+			task := &sumTask{got: make([]int32, n), workers: make([]int32, n)}
+			p.Run(n, workers, task)
+			for i, c := range task.got {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d ran %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunPartitionIsContiguousAndDeterministic(t *testing.T) {
+	p := New()
+	defer p.Close()
+	const n, workers = 103, 4
+	a := &sumTask{got: make([]int32, n), workers: make([]int32, n)}
+	b := &sumTask{got: make([]int32, n), workers: make([]int32, n)}
+	p.Run(n, workers, a)
+	p.Run(n, workers, b)
+	for i := range a.workers {
+		if a.workers[i] != b.workers[i] {
+			t.Fatalf("partition changed between runs at index %d: %d vs %d", i, a.workers[i], b.workers[i])
+		}
+		if i > 0 && a.workers[i] < a.workers[i-1] {
+			t.Fatalf("partition not contiguous at index %d: worker %d after %d", i, a.workers[i], a.workers[i-1])
+		}
+	}
+	if a.workers[0] != 0 {
+		t.Fatalf("chunk 0 not run by the caller (worker %d)", a.workers[0])
+	}
+}
+
+// countTask counts invocations per worker id.
+type countTask struct {
+	ran [16]int32
+}
+
+func (t *countTask) RunChunk(lo, hi, worker int) {
+	atomic.AddInt32(&t.ran[worker], 1)
+}
+
+func TestWorkerCountClampedToN(t *testing.T) {
+	p := New()
+	defer p.Close()
+	task := &countTask{}
+	p.Run(2, 8, task)
+	for w := 2; w < len(task.ran); w++ {
+		if task.ran[w] != 0 {
+			t.Fatalf("worker %d ran with only 2 items", w)
+		}
+	}
+}
+
+func TestRunAfterGrowAndShrink(t *testing.T) {
+	// Changing the worker count between runs reuses the already-spawned
+	// helpers and spawns only the missing ones.
+	p := New()
+	defer p.Close()
+	for _, workers := range []int{4, 2, 6, 1, 3} {
+		task := &sumTask{got: make([]int32, 50), workers: make([]int32, 50)}
+		p.Run(50, workers, task)
+		for i, c := range task.got {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestCloseReleasesHelpers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := New()
+	task := &countTask{}
+	p.Run(100, 4, task)
+	p.Close()
+	// Helpers exit asynchronously; poll briefly.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+	}
+	// Not fatal on a busy test binary, but flag gross leaks.
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines after Close: %d, started with %d", g, before)
+	}
+}
+
+// allocTask is a trivial task used by the allocation test.
+type allocTask struct{ sink int64 }
+
+func (t *allocTask) RunChunk(lo, hi, worker int) {
+	s := int64(0)
+	for i := lo; i < hi; i++ {
+		s += int64(i)
+	}
+	atomic.AddInt64(&t.sink, s)
+}
+
+func TestRunSteadyStateAllocFree(t *testing.T) {
+	p := New()
+	defer p.Close()
+	task := &allocTask{}
+	p.Run(1024, 4, task) // spawn the helpers
+	allocs := testing.AllocsPerRun(50, func() { p.Run(1024, 4, task) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Run allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func BenchmarkRun4Workers(b *testing.B) {
+	p := New()
+	defer p.Close()
+	task := &allocTask{}
+	p.Run(4096, 4, task)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(4096, 4, task)
+	}
+}
