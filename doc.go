@@ -26,21 +26,44 @@
 //     arena, caches the full received-power matrix for deployments up to
 //     sinr.DefaultMatrixThreshold nodes, and above that threshold combines
 //     a spatial grid (internal/geom) that culls far-field receivers with a
-//     memory-bounded lazy cache of per-sender power columns. Slots whose
-//     transmitters cover an estimated fraction of the deployment below the
-//     sinr crossover (sparseCoverageMax) are evaluated sender-centrically:
-//     only the receivers inside some transmitter's culling ball are
-//     enumerated (every other receiver provably decodes nothing), making
-//     sparse-slot cost output-sensitive instead of Θ(n·k). Receivers are
-//     scanned by a persistent worker pool (internal/workpool) wired to
-//     sim.Config.Workers.
+//     memory-bounded lazy cache of per-sender power columns.
 //
-// The paths all produce bit-identical Reception slices: culling and sparse
-// enumeration only skip work whose outcome is provably fixed, and the
-// differential property tests (TestSlotReceptionsEquivalence,
-// TestSparseSenderCentricEquivalence in internal/sinr) hold them to that
-// across randomized topologies, densities, transmitter counts and worker
-// counts. Drivers select a path explicitly via sim.Config.Evaluator; the
+// Per slot the fast engine dispatches three ways on the transmitter count
+// k:
+//
+//   - sparse (estimated transmitter-ball coverage below the documented
+//     crossover): sender-centric — only the receivers inside some
+//     transmitter's culling ball are enumerated (every other receiver
+//     provably decodes nothing), making sparse-slot cost output-sensitive
+//     instead of Θ(n·k);
+//   - bounds (dense slots whose k dwarfs the number of occupied grid
+//     cells, by the per-slot cost model of sinr's prepareBounds): the
+//     hierarchical-bounds tier aggregates transmitters per grid cell in
+//     O(k) and evaluates each receiver in O(occupied cells) — near cells
+//     expanded exactly, far cells bounded via precomputed per-cell-offset
+//     power bounds (geom.CellIndex, geom.CellOffsetDistBounds). The decode
+//     decision is emitted directly when the lower- and upper-bound
+//     certificates agree; the invariant making that decision-exact is the
+//     rounding slack ε_k = Θ(k)·ulp by which the bounds are widened, so
+//     they conservatively bracket the floating-point interference sum the
+//     exact path computes in any summation order. Only receivers inside
+//     the resulting thin ambiguous band around β refine through the exact
+//     per-receiver arithmetic (the measured refine rate is ~5% on the
+//     canonical dense workload and is reported per benchmark case);
+//   - dense (everything else, e.g. all-transmit slots with no listeners):
+//     the streaming receiver scan.
+//
+// Receivers are scanned by a persistent worker pool (internal/workpool)
+// wired to sim.Config.Workers.
+//
+// The paths all produce bit-identical Reception slices: culling, sparse
+// enumeration and the bounds certificates only skip work whose outcome is
+// provably fixed, and the differential property tests
+// (TestSlotReceptionsEquivalence, TestSparseSenderCentricEquivalence,
+// TestBoundsTierEquivalence and the on-threshold adversarial
+// TestBoundsThresholdRefine in internal/sinr) hold them to that across
+// randomized topologies, densities, transmitter counts and worker counts.
+// Drivers select a path explicitly via sim.Config.Evaluator; the
 // experiment harness (internal/exp), cmd/macbench and cmd/sinrsim use the
 // fast engine, while unit tests exercising channel semantics keep the
 // reference path.
@@ -92,8 +115,11 @@
 // figure via `go test -bench=.` and compares the two evaluators at
 // n = 1k/5k/10k via BenchmarkSlotReceptions. cmd/macbench -json writes the
 // slot-pipeline measurements — naive vs fast, sparse vs dense at |tx| = √n,
-// and steady-state Engine.Step ns/op and allocs/op — to BENCH_macbench.json
+// bounds vs dense at |tx| ∈ {n/4, n} with the per-case refine rate, and
+// steady-state Engine.Step ns/op and allocs/op — to BENCH_macbench.json
 // for cross-PR tracking, and cmd/macbench -json -compare FILE fails on
 // gross (beyond 2×) regressions against a committed baseline; CI runs that
-// gate on every push.
+// gate on every push, renders the per-case table into the job summary and
+// uploads the fresh report as an artifact. cmd/macbench -cpuprofile and
+// -memprofile capture pprof profiles from the same binary the gate runs.
 package sinrmac

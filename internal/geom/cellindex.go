@@ -1,0 +1,165 @@
+package geom
+
+import "math"
+
+// CellIndex is an immutable, densely numbered decomposition of an indexed
+// point set into the square lattice cells a Grid with the same cell size
+// uses (cell c of a point p is (floor(p.X/cell), floor(p.Y/cell))). Where
+// Grid answers per-point range queries, CellIndex answers the aggregate
+// queries the hierarchical SINR bounds tier is built on: which cell does a
+// node live in, which nodes live in a cell, and what are the lattice
+// coordinates of a cell so that conservative cell-pair distance bounds
+// (CellOffsetDistBounds) can be looked up by integer offset. The tighter
+// per-point variant (PointCellDistBounds) serves callers refining a single
+// query point against a cell.
+//
+// Cells are numbered densely in first-occurrence order of the input points,
+// so the numbering is deterministic for a fixed point slice. The node lists
+// are stored in one CSR arena; a CellIndex performs no allocation after
+// construction and is safe for concurrent readers.
+type CellIndex struct {
+	cell         float64
+	minCX, minCY int
+	spanX, spanY int
+
+	cellOf []int32 // node id -> dense cell id
+	start  []int32 // CSR offsets: nodes of cell c are nodes[start[c]:start[c+1]]
+	nodes  []int32 // node ids grouped by cell
+	cx, cy []int32 // dense cell id -> lattice coords relative to (minCX, minCY)
+}
+
+// NewCellIndex decomposes the points into square cells of the given side
+// length. It panics if cell is not positive, matching NewGrid.
+func NewCellIndex(points []Point, cell float64) *CellIndex {
+	if cell <= 0 || math.IsNaN(cell) {
+		panic("geom: cell index cell size must be positive")
+	}
+	n := len(points)
+	ci := &CellIndex{cell: cell, cellOf: make([]int32, n)}
+	type key struct{ kx, ky int }
+	ids := make(map[key]int32, n)
+	keys := make([]key, 0, n)
+	for i, p := range points {
+		k := key{kx: int(math.Floor(p.X / cell)), ky: int(math.Floor(p.Y / cell))}
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(keys))
+			ids[k] = id
+			keys = append(keys, k)
+		}
+		ci.cellOf[i] = id
+	}
+	nc := len(keys)
+	ci.cx = make([]int32, nc)
+	ci.cy = make([]int32, nc)
+	if nc > 0 {
+		ci.minCX, ci.minCY = keys[0].kx, keys[0].ky
+		maxCX, maxCY := ci.minCX, ci.minCY
+		for _, k := range keys {
+			ci.minCX = min(ci.minCX, k.kx)
+			ci.minCY = min(ci.minCY, k.ky)
+			maxCX = max(maxCX, k.kx)
+			maxCY = max(maxCY, k.ky)
+		}
+		ci.spanX, ci.spanY = maxCX-ci.minCX, maxCY-ci.minCY
+		for c, k := range keys {
+			ci.cx[c] = int32(k.kx - ci.minCX)
+			ci.cy[c] = int32(k.ky - ci.minCY)
+		}
+	}
+	// CSR fill: count, prefix, scatter.
+	counts := make([]int32, nc+1)
+	for _, c := range ci.cellOf {
+		counts[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		counts[c+1] += counts[c]
+	}
+	ci.start = counts
+	ci.nodes = make([]int32, n)
+	cursor := make([]int32, nc)
+	copy(cursor, ci.start[:nc])
+	for i, c := range ci.cellOf {
+		ci.nodes[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return ci
+}
+
+// CellSize returns the cell side length.
+func (ci *CellIndex) CellSize() float64 { return ci.cell }
+
+// NumCells returns the number of occupied cells.
+func (ci *CellIndex) NumCells() int { return len(ci.cx) }
+
+// Span returns the lattice extent: occupied cell coordinates lie in
+// [0, spanX] × [0, spanY], so offsets between two occupied cells lie in
+// [-spanX, spanX] × [-spanY, spanY].
+func (ci *CellIndex) Span() (spanX, spanY int) { return ci.spanX, ci.spanY }
+
+// CellOf returns the dense id of the cell containing node id.
+func (ci *CellIndex) CellOf(id int) int { return int(ci.cellOf[id]) }
+
+// Coord returns the lattice coordinates of cell c, relative to the minimum
+// occupied cell (both components are in [0, Span()]).
+func (ci *CellIndex) Coord(c int) (cx, cy int) { return int(ci.cx[c]), int(ci.cy[c]) }
+
+// Nodes returns the ids of the nodes in cell c. The slice aliases the
+// index's arena and must not be modified.
+func (ci *CellIndex) Nodes(c int) []int32 { return ci.nodes[ci.start[c]:ci.start[c+1]] }
+
+// Rect returns the closed square region of cell c in plane coordinates.
+func (ci *CellIndex) Rect(c int) Rect {
+	x := float64(ci.minCX+int(ci.cx[c])) * ci.cell
+	y := float64(ci.minCY+int(ci.cy[c])) * ci.cell
+	return Rect{Min: Point{X: x, Y: y}, Max: Point{X: x + ci.cell, Y: y + ci.cell}}
+}
+
+// CellOffsetDistBounds returns conservative bounds on the distance between
+// any point of one square lattice cell and any point of the cell (dx, dy)
+// lattice steps away, for cells of the given side length: any such pair is
+// at distance in [dmin, dmax]. The bounds depend only on the offset, which
+// is what lets the SINR bounds tier precompute per-offset power bounds once
+// and share them across every receiver-cell/transmitter-cell pair.
+func CellOffsetDistBounds(dx, dy int, cell float64) (dmin, dmax float64) {
+	ax, ay := dx, dy
+	if ax < 0 {
+		ax = -ax
+	}
+	if ay < 0 {
+		ay = -ay
+	}
+	gx, gy := float64(ax-1), float64(ay-1)
+	if gx < 0 {
+		gx = 0
+	}
+	if gy < 0 {
+		gy = 0
+	}
+	dmin = cell * math.Hypot(gx, gy)
+	dmax = cell * math.Hypot(float64(ax+1), float64(ay+1))
+	return dmin, dmax
+}
+
+// PointCellDistBounds returns the minimum and maximum distance from p to
+// the closed square cell with absolute lattice coordinates (cx, cy) and the
+// given side length: every point q of the cell satisfies
+// dmin <= p.Dist(q) <= dmax. The minimum is attained by clamping p into the
+// cell, the maximum at the corner farthest from p.
+func PointCellDistBounds(p Point, cx, cy int, cell float64) (dmin, dmax float64) {
+	lox, hix := float64(cx)*cell, float64(cx+1)*cell
+	loy, hiy := float64(cy)*cell, float64(cy+1)*cell
+	nx := math.Min(math.Max(p.X, lox), hix)
+	ny := math.Min(math.Max(p.Y, loy), hiy)
+	dmin = p.Dist(Point{X: nx, Y: ny})
+	fx := hix
+	if p.X-lox > hix-p.X {
+		fx = lox
+	}
+	fy := hiy
+	if p.Y-loy > hiy-p.Y {
+		fy = loy
+	}
+	dmax = p.Dist(Point{X: fx, Y: fy})
+	return dmin, dmax
+}

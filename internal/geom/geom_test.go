@@ -415,3 +415,134 @@ func TestGridAppendWithinAllocFree(t *testing.T) {
 		t.Fatalf("AppendWithin allocates %.1f objects per query, want 0", allocs)
 	}
 }
+
+// TestGridAppendWithinBoundary pins the membership rule at geometric edge
+// cases: a query point lying exactly on a cell edge (so its cell key is
+// decided by the floor convention), points exactly at distance r, and a
+// zero radius, which must return exactly the points coincident with the
+// query. These are the cases the sparse candidate enumeration and the
+// bounds tier's near/far split both depend on agreeing about.
+func TestGridAppendWithinBoundary(t *testing.T) {
+	g := NewGrid(1)
+	pts := []Point{
+		{X: 0, Y: 0},  // on the corner shared by four cells
+		{X: 1, Y: 0},  // on a vertical cell edge
+		{X: 2, Y: 0},  // exactly at distance 2 from the origin
+		{X: 0, Y: -1}, // on a horizontal edge, negative coordinates
+		{X: 0.5, Y: 0.5},
+		{X: 0, Y: 0}, // coincident with point 0
+	}
+	for i, p := range pts {
+		g.Insert(i, p)
+	}
+	cases := []struct {
+		name string
+		p    Point
+		r    float64
+		want []int
+	}{
+		{"zero-radius-at-point", Point{0, 0}, 0, []int{0, 5}},
+		{"zero-radius-off-point", Point{0.25, 0}, 0, nil},
+		{"edge-query-radius-one", Point{1, 0}, 1, []int{0, 1, 2, 4, 5}},
+		{"corner-query-exact-distance", Point{0, 0}, 2, []int{0, 1, 2, 3, 4, 5}},
+		{"corner-query-just-under", Point{0, 0}, 2 * (1 - 1e-12), []int{0, 1, 3, 4, 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := append([]int(nil), g.AppendWithin(nil, tc.p, tc.r)...)
+			sort.Ints(got)
+			if len(got) != len(tc.want) {
+				t.Fatalf("AppendWithin(%v, %v) = %v, want %v", tc.p, tc.r, got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("AppendWithin(%v, %v) = %v, want %v", tc.p, tc.r, got, tc.want)
+				}
+			}
+			// The non-allocating existence probe must agree on every case.
+			any := g.AnyWithin(tc.p, tc.r, func(int) bool { return true })
+			if any != (len(tc.want) > 0) {
+				t.Fatalf("AnyWithin(%v, %v) = %v disagrees with AppendWithin %v", tc.p, tc.r, any, tc.want)
+			}
+		})
+	}
+}
+
+// TestCellIndexStructure checks the dense cell decomposition against the
+// definition: every node lands in the cell its floored coordinates name,
+// the CSR node lists partition the ids, and coordinates stay within Span.
+func TestCellIndexStructure(t *testing.T) {
+	src := rng.New(42)
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{X: src.Float64()*90 - 45, Y: src.Float64()*90 - 45}
+	}
+	const cell = 7.5
+	ci := NewCellIndex(pts, cell)
+	sx, sy := ci.Span()
+	seen := make(map[int]bool, len(pts))
+	for c := 0; c < ci.NumCells(); c++ {
+		cx, cy := ci.Coord(c)
+		if cx < 0 || cx > sx || cy < 0 || cy > sy {
+			t.Fatalf("cell %d coord (%d,%d) outside span (%d,%d)", c, cx, cy, sx, sy)
+		}
+		rect := ci.Rect(c)
+		for _, id := range ci.Nodes(c) {
+			if seen[int(id)] {
+				t.Fatalf("node %d listed in two cells", id)
+			}
+			seen[int(id)] = true
+			if ci.CellOf(int(id)) != c {
+				t.Fatalf("node %d: CellOf %d, listed under %d", id, ci.CellOf(int(id)), c)
+			}
+			if p := pts[id]; !rect.Contains(p) {
+				t.Fatalf("node %d at %v outside its cell rect %v", id, p, rect)
+			}
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("CSR lists cover %d of %d nodes", len(seen), len(pts))
+	}
+}
+
+// TestCellDistBounds fuzzes the two distance-bound queries the SINR bounds
+// tier is built on: for random point pairs, the distance must lie within
+// the bounds of their cells' lattice offset, and within the point-to-cell
+// bounds of either endpoint's cell. Conservativeness is what the bounds
+// tier's decision-exactness rests on, so any violation is fatal.
+func TestCellDistBounds(t *testing.T) {
+	src := rng.New(7)
+	const cell = 3.25
+	for trial := 0; trial < 2000; trial++ {
+		a := Point{X: src.Float64()*80 - 40, Y: src.Float64()*80 - 40}
+		b := Point{X: src.Float64()*80 - 40, Y: src.Float64()*80 - 40}
+		ax, ay := int(math.Floor(a.X/cell)), int(math.Floor(a.Y/cell))
+		bx, by := int(math.Floor(b.X/cell)), int(math.Floor(b.Y/cell))
+		d := a.Dist(b)
+		dmin, dmax := CellOffsetDistBounds(bx-ax, by-ay, cell)
+		if d < dmin*(1-1e-9) || d > dmax*(1+1e-9) {
+			t.Fatalf("offset bounds [%g, %g] exclude distance %g (offset %d,%d)", dmin, dmax, d, bx-ax, by-ay)
+		}
+		pmin, pmax := PointCellDistBounds(a, bx, by, cell)
+		if d < pmin*(1-1e-9) || d > pmax*(1+1e-9) {
+			t.Fatalf("point-cell bounds [%g, %g] exclude distance %g", pmin, pmax, d)
+		}
+		// Point-to-cell bounds are tighter than (contained in) the pure
+		// offset bounds, never looser.
+		if pmin < dmin*(1-1e-9) || pmax > dmax*(1+1e-9) {
+			t.Fatalf("point-cell bounds [%g, %g] looser than offset bounds [%g, %g]", pmin, pmax, dmin, dmax)
+		}
+	}
+	// A point inside the queried cell has distance bound zero.
+	if dmin, _ := PointCellDistBounds(Point{1, 1}, 0, 0, cell); dmin != 0 {
+		t.Fatalf("point inside cell: dmin = %g, want 0", dmin)
+	}
+	// Symmetric offsets give identical bounds.
+	for _, off := range [][2]int{{0, 0}, {1, 2}, {-3, 4}, {5, 0}} {
+		amin, amax := CellOffsetDistBounds(off[0], off[1], cell)
+		bmin, bmax := CellOffsetDistBounds(-off[0], -off[1], cell)
+		if amin != bmin || amax != bmax {
+			t.Fatalf("offset bounds not symmetric at %v", off)
+		}
+	}
+}

@@ -82,6 +82,14 @@ type FastOptions struct {
 	// compare against). The differential tests use the overrides to pin
 	// each path; simulations keep the default.
 	SparseFactor int
+	// BoundsFactor overrides the hierarchical-bounds tier dispatch for the
+	// slots the sparse path declined. Zero (the default) selects the
+	// adaptive per-slot cost model of prepareBounds; a positive value
+	// forces the bounds tier onto every such slot (the differential tests
+	// pin it this way), and a negative value disables the tier (the
+	// pre-bounds dense scan the benchmarks compare against). The β guard
+	// (boundsBetaMin) is respected in every mode.
+	BoundsFactor int
 }
 
 // FastChannel is the scalable SINR slot evaluator. It produces receptions
@@ -108,17 +116,28 @@ type FastOptions struct {
 //     sender-centric path, which enumerates only the receivers inside some
 //     transmitter's ball — O(Σ_s |ball(s)|) grid work plus |candidates|·k
 //     arithmetic — instead of scanning all n receivers;
+//   - dense slots whose transmitter count dwarfs the number of occupied
+//     grid cells take the hierarchical-bounds tier (bounds.go): per-cell
+//     transmitter aggregates bound each receiver's interference from above
+//     and below in O(occupied cells), the decode decision is emitted
+//     directly when the certificates agree under a k·ulp rounding slack,
+//     and only the thin ambiguous band around β refines through the exact
+//     per-receiver arithmetic;
 //   - receivers are scanned by a persistent pool of worker goroutines
 //     (internal/workpool) woken by a channel handoff instead of spawned per
 //     slot; the partition is deterministic, so results are identical at any
 //     worker count.
 //
-// Culling never changes results: a sender whose lone-transmitter SINR is
-// below β cannot be decoded under any interference (the denominator only
-// grows), the sparse path skips exactly the receivers whose every received
-// power is provably below that bound, and both cull thresholds carry a
-// conservative slack so borderline pairs fall through to the exact
-// reference arithmetic.
+// Per slot the dispatch is therefore three-way — sparse when the estimated
+// candidate coverage is low, bounds when the per-slot cost model of
+// prepareBounds wins, the dense scan otherwise — and none of the tiers
+// changes results: a sender whose lone-transmitter SINR is below β cannot
+// be decoded under any interference (the denominator only grows), the
+// sparse path skips exactly the receivers whose every received power is
+// provably below that bound, the bounds tier emits only decisions its
+// conservative certificates prove identical to the exact arithmetic's
+// (bounds.go documents the argument), and every threshold carries slack so
+// borderline cases fall through to the exact reference arithmetic.
 //
 // The Reception slice returned by SlotReceptions is owned by the evaluator
 // and valid only until the next call; callers that retain it must copy.
@@ -177,6 +196,32 @@ type FastChannel struct {
 	ball       []int
 	mark       []uint32
 	markGen    uint32
+
+	// Bounds tier (see bounds.go). bholder shares the lazily built
+	// immutable cell index and offset power tables across all forks of a
+	// deployment; bidx/boundsOff cache the resolved result locally, and
+	// everything below them is per-evaluator slot scratch.
+	boundsFactor int
+	bholder      *boundsHolder
+	boundsOff    bool // latched when the offset tables would exceed boundsMaxOffsets
+	bidx         *boundsIndex
+	txCellCnt    []int32 // per cell: transmitter count of the current slot
+	txCellStart  []int32 // per cell: CSR offset into txByCell
+	txCellFill   []int32 // per cell: scatter cursor while building the CSR
+	txByCell     []int32 // slot transmitters grouped by cell
+	occT         []int32 // occupied transmitter cells, in tx-encounter order
+	loFar        []float64
+	hiFar        []float64
+	farMaxUB     []float64
+	nearCnt      []int32
+	nearCells    []int32 // per receiver cell, stride bidx.nearStride
+	// Per-slot certificate constants (prepareBounds) and lifetime counters
+	// (read via BoundsStats, written with atomics from the chunk workers).
+	slackUp, slackDown float64
+	betaHi, betaLo     float64
+	boundsSlots        uint64
+	boundsReceivers    uint64
+	boundsRefined      uint64
 }
 
 var _ ParallelEvaluator = (*FastChannel)(nil)
@@ -208,6 +253,8 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 	f.setWorkers(opt.Workers)
 	f.txPred = func(id int) bool { return f.isTx[id] }
 	f.sparseFactor = opt.SparseFactor
+	f.boundsFactor = opt.BoundsFactor
+	f.bholder = &boundsHolder{}
 	for i := range f.out {
 		f.out[i].Sender = -1
 	}
@@ -254,10 +301,12 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 }
 
 // Fork returns an evaluator that shares f's immutable state — the underlying
-// channel, node positions, precomputed n×n power matrix and spatial grid —
-// while owning private mutable scratch (reception slice, transmitter flags,
-// per-worker rows, sparse candidate buffers, worker pool) and, on the grid
-// path, a private lazy column cache with a fresh budget. Forks may evaluate
+// channel, node positions, precomputed n×n power matrix, spatial grid and
+// (once built) the bounds tier's cell index and offset power tables — while
+// owning private mutable scratch (reception slice, transmitter flags,
+// per-worker rows, sparse candidate buffers, bounds-tier aggregates and
+// counters, worker pool) and, on the grid path, a private lazy column cache
+// with a fresh budget. Forks may evaluate
 // slots concurrently with each other and with f. The experiment scheduler
 // hands each trial worker its own fork, so the power matrix of a sweep
 // point's deployment is built once and shared across every parallel trial
@@ -275,6 +324,8 @@ func (f *FastChannel) Fork() *FastChannel {
 		mat:           f.mat,
 		grid:          f.grid,
 		sparseFactor:  f.sparseFactor,
+		boundsFactor:  f.boundsFactor,
+		bholder:       f.bholder,
 		logBallMiss:   f.logBallMiss,
 		colBudgetInit: f.colBudgetInit,
 		out:           make([]Reception, f.n),
@@ -290,6 +341,10 @@ func (f *FastChannel) Fork() *FastChannel {
 		g.cols = make([][]float64, g.n)
 		g.colBudget = g.colBudgetInit
 	}
+	// g shares f's boundsHolder: whichever fork first takes a dense slot
+	// builds the cell index and offset tables once for all of them, and
+	// each fork then grows private per-slot aggregates and counters (a
+	// fork's BoundsStats start at zero).
 	return g
 }
 
@@ -413,6 +468,15 @@ func (f *FastChannel) SlotReceptions(transmitters []int) []Reception {
 		} else {
 			f.runChunks(len(f.candidates), (*FastChannel).sparseMatrixChunk)
 		}
+	case f.prepareBounds(len(transmitters)):
+		f.runChunks(f.bidx.cells.NumCells(), (*FastChannel).boundsPrepChunk)
+		if f.mat == nil {
+			f.ensureColumns(transmitters)
+			f.runChunks(f.n, (*FastChannel).boundsGridChunk)
+		} else {
+			f.runChunks(f.n, (*FastChannel).boundsMatrixChunk)
+		}
+		f.finishBounds()
 	case f.mat != nil:
 		f.runChunks(f.n, (*FastChannel).matrixChunk)
 	default:

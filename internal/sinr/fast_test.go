@@ -12,19 +12,24 @@ import (
 // fastVariants returns the fast-evaluator configurations the differential
 // tests exercise: the cached-matrix path and the spatial-grid far-field
 // path, each at one and several workers, with the sparse sender-centric
-// crossover forced on, forced off and left at its default. The evaluators'
-// worker pools are released when the test finishes.
+// crossover and the hierarchical-bounds tier forced on, forced off and left
+// at their defaults. The evaluators' worker pools are released when the
+// test finishes.
 func fastVariants(t testing.TB, ch *Channel) map[string]*FastChannel {
 	variants := map[string]*FastChannel{
-		"matrix/1w":       NewFastChannel(ch, FastOptions{Workers: 1}),
-		"matrix/4w":       NewFastChannel(ch, FastOptions{Workers: 4}),
-		"matrix/nosparse": NewFastChannel(ch, FastOptions{Workers: 2, SparseFactor: -1}),
-		"matrix/sparse":   NewFastChannel(ch, FastOptions{Workers: 2, SparseFactor: 1}),
-		"grid/1w":         NewFastChannel(ch, FastOptions{Workers: 1, MatrixThreshold: -1}),
-		"grid/4w":         NewFastChannel(ch, FastOptions{Workers: 4, MatrixThreshold: -1}),
-		"grid/nosparse":   NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: -1}),
-		"grid/sparse":     NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: 1}),
-		"grid/nocache":    NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, ColumnCacheBytes: -1}),
+		"matrix/1w":        NewFastChannel(ch, FastOptions{Workers: 1}),
+		"matrix/4w":        NewFastChannel(ch, FastOptions{Workers: 4}),
+		"matrix/nosparse":  NewFastChannel(ch, FastOptions{Workers: 2, SparseFactor: -1}),
+		"matrix/sparse":    NewFastChannel(ch, FastOptions{Workers: 2, SparseFactor: 1}),
+		"matrix/bounds":    NewFastChannel(ch, FastOptions{Workers: 2, SparseFactor: -1, BoundsFactor: 1}),
+		"matrix/bounds/1w": NewFastChannel(ch, FastOptions{Workers: 1, SparseFactor: -1, BoundsFactor: 1}),
+		"grid/1w":          NewFastChannel(ch, FastOptions{Workers: 1, MatrixThreshold: -1}),
+		"grid/4w":          NewFastChannel(ch, FastOptions{Workers: 4, MatrixThreshold: -1}),
+		"grid/nosparse":    NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: -1}),
+		"grid/sparse":      NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: 1}),
+		"grid/nocache":     NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, ColumnCacheBytes: -1}),
+		"grid/bounds":      NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}),
+		"grid/bounds/4w":   NewFastChannel(ch, FastOptions{Workers: 4, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}),
 	}
 	t.Cleanup(func() {
 		for _, f := range variants {
@@ -220,10 +225,15 @@ func TestForkMatchesParent(t *testing.T) {
 	for _, opts := range []FastOptions{
 		{Workers: 2},
 		{Workers: 2, MatrixThreshold: -1},
+		{Workers: 2, SparseFactor: -1, BoundsFactor: 1},
+		{Workers: 2, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1},
 	} {
 		name := "matrix"
 		if opts.MatrixThreshold < 0 {
 			name = "grid"
+		}
+		if opts.BoundsFactor > 0 {
+			name += "/bounds"
 		}
 		t.Run(name, func(t *testing.T) {
 			parent := NewFastChannel(ch, opts)
@@ -407,9 +417,12 @@ func TestFastChannelAllocFree(t *testing.T) {
 	}{
 		{"matrix/dense", FastOptions{Workers: 1, SparseFactor: -1}},
 		{"matrix/sparse", FastOptions{Workers: 1, SparseFactor: 1}},
+		{"matrix/bounds", FastOptions{Workers: 1, SparseFactor: -1, BoundsFactor: 1}},
 		{"grid/dense", FastOptions{Workers: 1, MatrixThreshold: -1, SparseFactor: -1}},
 		{"grid/sparse", FastOptions{Workers: 1, MatrixThreshold: -1, SparseFactor: 1}},
+		{"grid/bounds", FastOptions{Workers: 1, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}},
 		{"matrix/sparse/4w", FastOptions{Workers: 4, SparseFactor: 1}},
+		{"grid/bounds/4w", FastOptions{Workers: 4, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}},
 	} {
 		f := NewFastChannel(ch, tc.opt)
 		f.SlotReceptions(tx) // warm the scratch rows and candidate buffers

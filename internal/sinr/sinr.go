@@ -10,6 +10,19 @@
 // The transmission range is R = (P/(βN))^{1/α}; R_a = a·R for a ∈ (0,1]
 // defines the strong-connectivity radii R_{1-ε} and R_{1-2ε} used by the
 // induced graphs G_{1-ε} and G_{1-2ε}.
+//
+// Two slot evaluators implement the predicate: the naive reference
+// (Channel.SlotReceptions) and FastChannel, which dispatches each slot
+// three ways — the sender-centric sparse path when the transmitters'
+// estimated ball coverage is low, the hierarchical-bounds tier (bounds.go)
+// when the transmitter count dwarfs the occupied grid cells, and the dense
+// streaming scan otherwise. All paths are decision-exact: because β > 1 at
+// most one sender can decode at a receiver, so the only output is a
+// discrete decision, and the optimised paths either prove their decision
+// identical to the reference's floating-point arithmetic (conservative
+// culling slack; interference bounds widened by a Θ(k)·ulp rounding slack)
+// or fall back to it. The differential tests in this package hold every
+// path bit-identical to the reference.
 package sinr
 
 import (
