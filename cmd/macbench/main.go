@@ -20,6 +20,10 @@
 //   - the hierarchical-bounds tier vs the dense scan on the
 //     sinr.DenseBenchWorkload at k = n/4 and k = n, with the measured
 //     exact-fallback (refine) rate per case;
+//   - churn epochs on the sinr.ChurnBenchWorkload: incrementally applying
+//     a mobility epoch (1% of nodes moved) to a live evaluator vs
+//     rebuilding it from scratch, in both cache regimes (the apply path is
+//     expected to stay allocation-free);
 //   - a steady-state sim.Engine.Step over pooled frames (ns/op and
 //     allocs/op, the latter expected to be zero).
 //
@@ -235,6 +239,27 @@ type boundsCase struct {
 	RefineRate float64 `json:"refine_rate"`
 }
 
+// churnCase is one churn-epoch measurement: the cost of incrementally
+// applying a mobility epoch to a live fast evaluator
+// (sinr.FastChannel.ApplyEpoch) against rebuilding the evaluator from
+// scratch over the post-epoch deployment, on sinr.ChurnBenchWorkload.
+type churnCase struct {
+	// Name identifies the regime: "churn_matrix" (power matrix patched in
+	// place) or "churn_grid" (grid buckets patched, column cache dropped).
+	Name string `json:"name"`
+	// Nodes is the deployment size; Changed how many nodes move per epoch.
+	Nodes   int `json:"nodes"`
+	Changed int `json:"changed_per_epoch"`
+	// Rebuild and Apply are the per-epoch cost of a from-scratch evaluator
+	// rebuild and of the incremental apply path.
+	RebuildNsPerOp     float64 `json:"rebuild_ns_per_op"`
+	RebuildAllocsPerOp int64   `json:"rebuild_allocs_per_op"`
+	ApplyNsPerOp       float64 `json:"apply_ns_per_op"`
+	ApplyAllocsPerOp   int64   `json:"apply_allocs_per_op"`
+	// SpeedupVsRebuild is RebuildNsPerOp / ApplyNsPerOp.
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
+}
+
 // stepCase is one steady-state Engine.Step measurement over the pooled
 // frame pipeline.
 type stepCase struct {
@@ -255,6 +280,7 @@ type benchReport struct {
 	Cases       []benchCase  `json:"cases"`
 	SparseCases []sparseCase `json:"sparse_cases"`
 	BoundsCases []boundsCase `json:"bounds_cases"`
+	ChurnCases  []churnCase  `json:"churn_cases"`
 	StepCases   []stepCase   `json:"step_cases"`
 }
 
@@ -411,6 +437,72 @@ func runJSONBench(seed uint64, outPath, comparePath, summaryPath string) int {
 			reg.name, c.Nodes, c.Transmitters, c.DenseNsPerOp, c.DenseAllocsPerOp, c.BoundsNsPerOp, c.BoundsAllocsPerOp, c.SpeedupVsDense, c.RefineRate)
 	}
 
+	// Churn epochs: incremental apply vs from-scratch rebuild at n = 5000
+	// with 1% of the nodes moving per epoch, in both cache regimes. The
+	// matrix regime raises the threshold so the power matrix — the O(n²)
+	// state the incremental path exists to avoid rebuilding — is in play at
+	// this size; the apply loop cycles a fixed away/back delta pair, so its
+	// steady state is allocation-free.
+	const churnN = 5000
+	for _, reg := range []struct {
+		name      string
+		threshold int
+	}{
+		{"churn_matrix", churnN},
+		{"churn_grid", -1},
+	} {
+		ch, deltas, err := sinr.ChurnBenchWorkload(churnN, churnN/100, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+			return 1
+		}
+		opts := sinr.FastOptions{MatrixThreshold: reg.threshold}
+		rebuildRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := sinr.NewFastChannel(ch, opts)
+				f.Close()
+			}
+		})
+		f := sinr.NewFastChannel(ch, opts)
+		for _, d := range deltas { // warm buckets, arenas and capacities
+			if err := f.ApplyEpoch(d); err != nil {
+				fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+				return 1
+			}
+		}
+		var applyErr error
+		applyRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f.ApplyEpoch(deltas[i%2]); err != nil {
+					applyErr = err
+					b.FailNow()
+				}
+			}
+		})
+		f.Close()
+		if applyErr != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", applyErr)
+			return 1
+		}
+		c := churnCase{
+			Name:               reg.name,
+			Nodes:              churnN,
+			Changed:            churnN / 100,
+			RebuildNsPerOp:     float64(rebuildRes.NsPerOp()),
+			RebuildAllocsPerOp: rebuildRes.AllocsPerOp(),
+			ApplyNsPerOp:       float64(applyRes.NsPerOp()),
+			ApplyAllocsPerOp:   applyRes.AllocsPerOp(),
+		}
+		if c.ApplyNsPerOp > 0 {
+			c.SpeedupVsRebuild = c.RebuildNsPerOp / c.ApplyNsPerOp
+		}
+		report.ChurnCases = append(report.ChurnCases, c)
+		fmt.Printf("%-14s n=%-5d c=%-4d rebuild %11.0f ns/op (%d allocs)  apply %10.0f ns/op (%d allocs)  speedup %.1fx\n",
+			reg.name, c.Nodes, c.Changed, c.RebuildNsPerOp, c.RebuildAllocsPerOp, c.ApplyNsPerOp, c.ApplyAllocsPerOp, c.SpeedupVsRebuild)
+	}
+
 	// Steady-state Engine.Step over pooled frames: the whole pipeline —
 	// tick, sparse evaluation, deliveries — with its allocation count,
 	// which must stay at zero.
@@ -479,6 +571,9 @@ func writeSummary(path, baselinePath string, fresh benchReport) error {
 				for _, c := range base.BoundsCases {
 					baseline[c.Name] = c.SpeedupVsDense
 				}
+				for _, c := range base.ChurnCases {
+					baseline[c.Name] = c.SpeedupVsRebuild
+				}
 			}
 		}
 	}
@@ -504,6 +599,10 @@ func writeSummary(path, baselinePath string, fresh benchReport) error {
 	for _, c := range fresh.BoundsCases {
 		fmt.Fprintf(&b, "| %s (bounds vs dense, refine %.3f) | %d | %d | %.0f | %d | %.1fx | %s |\n",
 			c.Name, c.RefineRate, c.Nodes, c.Transmitters, c.BoundsNsPerOp, c.BoundsAllocsPerOp, c.SpeedupVsDense, ratioCell(c.Name, c.SpeedupVsDense))
+	}
+	for _, c := range fresh.ChurnCases {
+		fmt.Fprintf(&b, "| %s (apply vs rebuild) | %d | %d | %.0f | %d | %.1fx | %s |\n",
+			c.Name, c.Nodes, c.Changed, c.ApplyNsPerOp, c.ApplyAllocsPerOp, c.SpeedupVsRebuild, ratioCell(c.Name, c.SpeedupVsRebuild))
 	}
 	for _, c := range fresh.StepCases {
 		fmt.Fprintf(&b, "| %s | %d | %.1f | %.0f | %d | — | — | — |\n",
@@ -580,12 +679,17 @@ func benchEngineStep(name string, seed uint64, parallel bool, workers int) (step
 }
 
 // compareReports checks the fresh measurements against a committed
-// baseline using only machine-invariant quantities: the fast-over-naive
-// and sparse-over-dense speedup ratios (each measured within one run on
-// one machine) must not shrink beyond compareTolerance, and no optimised
-// path or steady-state step may allocate more than the baseline did.
-// Cases present on only one side are ignored, so adding a benchmark does
-// not break the first run against an old baseline.
+// baseline using only machine-invariant quantities: the fast-over-naive,
+// sparse-over-dense, bounds-over-dense and apply-over-rebuild speedup
+// ratios (each measured within one run on one machine) must not shrink
+// beyond compareTolerance, and no optimised path or steady-state step may
+// allocate more than the baseline did.
+//
+// Every baseline case must reappear in the fresh report: a benchmark that
+// is deleted or renamed without refreshing the committed baseline would
+// otherwise silently slip past the regression gate, so a missing
+// counterpart is itself a gate failure. Fresh-only cases remain allowed —
+// adding a benchmark must not break the first run against an old baseline.
 func compareReports(baselinePath string, fresh benchReport) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -596,54 +700,71 @@ func compareReports(baselinePath string, fresh benchReport) error {
 		return fmt.Errorf("parsing %s: %w", baselinePath, err)
 	}
 	var problems []string
-	checkSpeedup := func(name string, baseRatio, freshRatio float64) {
-		if baseRatio > 0 && freshRatio < baseRatio/compareTolerance {
+	freshByKey := make(map[string]gateCase)
+	for _, f := range gateCases(fresh) {
+		freshByKey[f.family+"/"+f.name] = f
+	}
+	for _, b := range gateCases(base) {
+		f, ok := freshByKey[b.family+"/"+b.name]
+		if !ok {
 			problems = append(problems, fmt.Sprintf(
-				"  %s: speedup %.1fx vs baseline %.1fx (shrank by more than %.1fx)",
-				name, freshRatio, baseRatio, compareTolerance))
+				"  %s case %q exists in the baseline but not in the fresh report: deleted or renamed benchmarks must refresh the committed baseline",
+				b.family, b.name))
+			continue
 		}
-	}
-	checkAllocs := func(name string, baseAllocs, freshAllocs int64) {
-		if freshAllocs > baseAllocs {
+		if b.speedupLabel != "" && b.speedup > 0 && f.speedup < b.speedup/compareTolerance {
 			problems = append(problems, fmt.Sprintf(
-				"  %s: %d allocs/op vs baseline %d", name, freshAllocs, baseAllocs))
+				"  %s/%s: speedup %.1fx vs baseline %.1fx (shrank by more than %.1fx)",
+				f.name, f.speedupLabel, f.speedup, b.speedup, compareTolerance))
 		}
-	}
-	for _, b := range base.Cases {
-		for _, f := range fresh.Cases {
-			if f.Name == b.Name {
-				checkSpeedup(f.Name+"/fast-vs-naive", b.SpeedupVsNaive, f.SpeedupVsNaive)
-				checkAllocs(f.Name+"/fast", b.FastAllocsPerOp, f.FastAllocsPerOp)
+		if f.allocs > b.allocs {
+			name := f.name
+			if f.allocsLabel != "" {
+				name += "/" + f.allocsLabel
 			}
-		}
-	}
-	for _, b := range base.SparseCases {
-		for _, f := range fresh.SparseCases {
-			if f.Name == b.Name {
-				checkSpeedup(f.Name+"/sparse-vs-dense", b.SpeedupVsDense, f.SpeedupVsDense)
-				checkAllocs(f.Name+"/sparse", b.SparseAllocsPerOp, f.SparseAllocsPerOp)
-			}
-		}
-	}
-	for _, b := range base.BoundsCases {
-		for _, f := range fresh.BoundsCases {
-			if f.Name == b.Name {
-				checkSpeedup(f.Name+"/bounds-vs-dense", b.SpeedupVsDense, f.SpeedupVsDense)
-				checkAllocs(f.Name+"/bounds", b.BoundsAllocsPerOp, f.BoundsAllocsPerOp)
-			}
-		}
-	}
-	for _, b := range base.StepCases {
-		for _, f := range fresh.StepCases {
-			if f.Name == b.Name {
-				checkAllocs(f.Name, b.AllocsPerOp, f.AllocsPerOp)
-			}
+			problems = append(problems, fmt.Sprintf(
+				"  %s: %d allocs/op vs baseline %d", name, f.allocs, b.allocs))
 		}
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("%s", strings.Join(problems, "\n"))
 	}
 	return nil
+}
+
+// gateCase is one benchmark case flattened to the machine-invariant
+// quantities the -compare gate judges, so every case family goes through
+// one comparison loop.
+type gateCase struct {
+	family string
+	name   string
+	// speedupLabel names the checked ratio; empty means the family carries
+	// no speedup ratio (only the alloc check applies).
+	speedupLabel string
+	speedup      float64
+	allocsLabel  string
+	allocs       int64
+}
+
+// gateCases flattens a report into the gate's comparison entries.
+func gateCases(r benchReport) []gateCase {
+	var out []gateCase
+	for _, c := range r.Cases {
+		out = append(out, gateCase{"slot-path", c.Name, "fast-vs-naive", c.SpeedupVsNaive, "fast", c.FastAllocsPerOp})
+	}
+	for _, c := range r.SparseCases {
+		out = append(out, gateCase{"sparse", c.Name, "sparse-vs-dense", c.SpeedupVsDense, "sparse", c.SparseAllocsPerOp})
+	}
+	for _, c := range r.BoundsCases {
+		out = append(out, gateCase{"bounds", c.Name, "bounds-vs-dense", c.SpeedupVsDense, "bounds", c.BoundsAllocsPerOp})
+	}
+	for _, c := range r.ChurnCases {
+		out = append(out, gateCase{"churn", c.Name, "apply-vs-rebuild", c.SpeedupVsRebuild, "apply", c.ApplyAllocsPerOp})
+	}
+	for _, c := range r.StepCases {
+		out = append(out, gateCase{"step", c.Name, "", 0, "", c.AllocsPerOp})
+	}
+	return out
 }
 
 func measure(n, trials int, seed uint64, base func(float64) approgress.Config, mutate func(*approgress.Config)) ([]float64, int64, error) {

@@ -86,6 +86,41 @@
 // the evaluator's persistent worker pool, and TestEngineStepAllocFree
 // asserts zero allocations per steady-state Engine.Step on both drivers.
 //
+// # Dynamic deployments
+//
+// Deployments are no longer frozen at construction: topology.Deployment
+// batches AddNode/RemoveNode/MoveNode mutations into epochs that
+// CommitEpoch applies atomically — revalidating the unit-distance
+// invariant (a rejected epoch leaves the deployment untouched),
+// invalidating every cached derived quantity (strong/approximation/weak
+// graphs, Λ) and returning a sinr.EpochDelta that owns the post-epoch
+// positions plus the change structure (dirty slots, swap-remove relabels,
+// added ids).
+//
+// Applying a delta to a live evaluator is incremental:
+// sinr.FastChannel.ApplyEpoch patches the dirty power-matrix rows/columns
+// (O(dirty·n) math.Pow instead of the O(n²/2) rebuild), moves the affected
+// spatial-grid buckets, re-buckets the bounds tier's cell index in place
+// (geom.CellIndex.ApplyChurn — the per-offset power tables survive
+// unchanged since they depend only on the lattice span) and drops only the
+// grid regime's stale column cache. Past sinr.ChurnRebuildFraction of the
+// deployment changing in one epoch the patch stops paying and ApplyEpoch
+// falls back to a full rebuild; both paths are held bit-identical to a
+// from-scratch evaluator by the differential churn suite
+// (TestChurnEpochEquivalence and friends in internal/sinr), and the
+// steady-state apply path of a fixed-size mobility cycle performs zero
+// heap allocations (TestChurnApplyAllocFree, the churn_matrix/churn_grid
+// macbench cases). Applying an epoch is stop-the-world for an evaluator
+// fork family and invalidates pre-epoch forks.
+//
+// One level up, sim.Engine.ApplyEpoch applies a delta between slots:
+// surviving node automata keep their protocol state and follow the relabel
+// chain, removed automata drop out, and only added nodes are initialised
+// (from labelled rng streams, so churned executions stay reproducible).
+// Experiment E8-churn (internal/exp) sweeps a per-slot mobility churn rate
+// under the combined MAC and reports global broadcast latency against the
+// static baseline on the same topology draw.
+//
 // # Parallel experiment scheduler
 //
 // The experiment harness (internal/exp) runs every sweep as a grid of

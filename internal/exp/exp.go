@@ -15,6 +15,11 @@
 //	          the number of messages k.
 //	E7-cons   Table 1 CONS row (Corollary 5.5): consensus completion time vs
 //	          the network diameter.
+//	E8-churn  Beyond the paper: global broadcast latency while the
+//	          deployment churns — mobility epochs committed through the
+//	          dynamic-topology API (topology epoch.go) and applied to the
+//	          running engine incrementally (sim.Engine.ApplyEpoch), sweeping
+//	          the per-slot churn rate against the static baseline.
 //
 // Each experiment returns a Table whose rows are also what
 // cmd/experiments prints and what EXPERIMENTS.md records.
@@ -163,6 +168,7 @@ func Registry() map[string]Runner {
 		"smb":    SMBComparison,
 		"mmb":    MMBScaling,
 		"cons":   ConsensusScaling,
+		"churn":  ChurnLatency,
 	}
 }
 

@@ -33,7 +33,7 @@ func TestTableFormatting(t *testing.T) {
 func TestRegistryAndNames(t *testing.T) {
 	reg := Registry()
 	names := Names()
-	if len(reg) != len(names) || len(reg) != 7 {
+	if len(reg) != len(names) || len(reg) != 8 {
 		t.Fatalf("registry size = %d, names = %d", len(reg), len(names))
 	}
 	for i := 1; i < len(names); i++ {
@@ -225,5 +225,31 @@ func TestConsensusScalingQuick(t *testing.T) {
 	// Larger diameter means later decisions.
 	if parseFloat(t, table.Rows[1][3]) <= parseFloat(t, table.Rows[0][3]) {
 		t.Fatalf("consensus time did not grow with the diameter: %v", table.Rows)
+	}
+}
+
+func TestChurnLatencyQuick(t *testing.T) {
+	table, err := ChurnLatency(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// The static point applies no epochs and normalises to itself.
+	if parseFloat(t, table.Rows[0][4]) != 0 {
+		t.Fatalf("static point applied epochs: %v", table.Rows[0])
+	}
+	if parseFloat(t, table.Rows[0][7]) != 1.0 {
+		t.Fatalf("static point vs_static != 1: %v", table.Rows[0])
+	}
+	// The churned point commits epochs and moves nodes.
+	if parseFloat(t, table.Rows[1][4]) <= 0 || parseFloat(t, table.Rows[1][5]) <= 0 {
+		t.Fatalf("churned point applied no epochs: %v", table.Rows[1])
+	}
+	for _, row := range table.Rows {
+		if parseFloat(t, row[6]) <= 0 {
+			t.Fatalf("non-positive latency in row %v", row)
+		}
 	}
 }

@@ -167,6 +167,20 @@ func (tc *TrialContext) Engine(nodes []sim.Node) (*sim.Engine, error) {
 	return eng, nil
 }
 
+// PrivateEngine builds a trial-private engine over a channel and evaluator
+// the trial owns, seeded with the trial's engine seed. The churn experiment
+// uses it: churn epochs mutate the deployment, channel and evaluator in
+// place, so — unlike Engine — nothing here may be shared with or reused by
+// other trials of the point. The caller owns the evaluator's lifetime
+// (close a FastChannel when the trial ends).
+func (tc *TrialContext) PrivateEngine(ch *sinr.Channel, nodes []sim.Node, ev sinr.ChannelEvaluator) (*sim.Engine, error) {
+	return sim.NewEngine(ch, nodes, sim.Config{
+		Seed:      tc.seed,
+		Workers:   1,
+		Evaluator: ev,
+	})
+}
+
 // runTrials runs fn once for every job of a points × trials sweep grid,
 // fanning the jobs across cfg.workers() workers, and returns the results as
 // a [point][trial] matrix in canonical order. Results are written to

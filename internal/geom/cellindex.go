@@ -17,15 +17,24 @@ import "math"
 // so the numbering is deterministic for a fixed point slice. The node lists
 // are stored in one CSR arena; a CellIndex performs no allocation after
 // construction and is safe for concurrent readers.
+//
+// The index is not strictly immutable: ApplyChurn re-buckets a changed
+// point set in place (appending dense ids for cells that first become
+// occupied inside the original lattice rectangle) so that churn epochs can
+// patch the CSR instead of rebuilding the decomposition. Mutation and
+// concurrent reads must not overlap; between mutations concurrent readers
+// remain safe.
 type CellIndex struct {
 	cell         float64
 	minCX, minCY int
 	spanX, spanY int
 
-	cellOf []int32 // node id -> dense cell id
-	start  []int32 // CSR offsets: nodes of cell c are nodes[start[c]:start[c+1]]
-	nodes  []int32 // node ids grouped by cell
-	cx, cy []int32 // dense cell id -> lattice coords relative to (minCX, minCY)
+	cellOf []int32           // node id -> dense cell id
+	start  []int32           // CSR offsets: nodes of cell c are nodes[start[c]:start[c+1]]
+	nodes  []int32           // node ids grouped by cell
+	cx, cy []int32           // dense cell id -> lattice coords relative to (minCX, minCY)
+	ids    map[cellKey]int32 // lattice cell -> dense id, retained for ApplyChurn
+	cursor []int32           // CSR scatter scratch, reused across ApplyChurn calls
 }
 
 // NewCellIndex decomposes the points into square cells of the given side
@@ -36,11 +45,10 @@ func NewCellIndex(points []Point, cell float64) *CellIndex {
 	}
 	n := len(points)
 	ci := &CellIndex{cell: cell, cellOf: make([]int32, n)}
-	type key struct{ kx, ky int }
-	ids := make(map[key]int32, n)
-	keys := make([]key, 0, n)
+	ids := make(map[cellKey]int32, n)
+	keys := make([]cellKey, 0, n)
 	for i, p := range points {
-		k := key{kx: int(math.Floor(p.X / cell)), ky: int(math.Floor(p.Y / cell))}
+		k := cellKey{cx: int(math.Floor(p.X / cell)), cy: int(math.Floor(p.Y / cell))}
 		id, ok := ids[k]
 		if !ok {
 			id = int32(len(keys))
@@ -49,22 +57,23 @@ func NewCellIndex(points []Point, cell float64) *CellIndex {
 		}
 		ci.cellOf[i] = id
 	}
+	ci.ids = ids
 	nc := len(keys)
 	ci.cx = make([]int32, nc)
 	ci.cy = make([]int32, nc)
 	if nc > 0 {
-		ci.minCX, ci.minCY = keys[0].kx, keys[0].ky
+		ci.minCX, ci.minCY = keys[0].cx, keys[0].cy
 		maxCX, maxCY := ci.minCX, ci.minCY
 		for _, k := range keys {
-			ci.minCX = min(ci.minCX, k.kx)
-			ci.minCY = min(ci.minCY, k.ky)
-			maxCX = max(maxCX, k.kx)
-			maxCY = max(maxCY, k.ky)
+			ci.minCX = min(ci.minCX, k.cx)
+			ci.minCY = min(ci.minCY, k.cy)
+			maxCX = max(maxCX, k.cx)
+			maxCY = max(maxCY, k.cy)
 		}
 		ci.spanX, ci.spanY = maxCX-ci.minCX, maxCY-ci.minCY
 		for c, k := range keys {
-			ci.cx[c] = int32(k.kx - ci.minCX)
-			ci.cy[c] = int32(k.ky - ci.minCY)
+			ci.cx[c] = int32(k.cx - ci.minCX)
+			ci.cy[c] = int32(k.cy - ci.minCY)
 		}
 	}
 	// CSR fill: count, prefix, scatter.
@@ -113,6 +122,86 @@ func (ci *CellIndex) Rect(c int) Rect {
 	x := float64(ci.minCX+int(ci.cx[c])) * ci.cell
 	y := float64(ci.minCY+int(ci.cy[c])) * ci.cell
 	return Rect{Min: Point{X: x, Y: y}, Max: Point{X: x + ci.cell, Y: y + ci.cell}}
+}
+
+// ApplyChurn re-buckets a churned point set in place. points is the full
+// post-epoch position slice (node i at points[i], so the index afterwards
+// covers exactly len(points) nodes — shrinking or growing the node count is
+// expressed by the slice length) and dirty lists the node ids whose position
+// changed, including ids appended at the end.
+//
+// It returns false — leaving the index completely unchanged — when any dirty
+// point falls outside the lattice rectangle spanned by the original
+// decomposition: the per-offset tables callers build on top of Span would no
+// longer cover the deployment, so they must rebuild from scratch. Cells that
+// first become occupied inside the rectangle are appended to the dense
+// numbering (a cell emptied by churn keeps its id, so NumCells never
+// shrinks), and the CSR arena is rebuilt by one count/prefix/scatter pass —
+// O(len(points) + NumCells), with no allocation once the arenas have grown
+// to their steady-state sizes.
+func (ci *CellIndex) ApplyChurn(points []Point, dirty []int) bool {
+	// Pass 1 is read-only: if any dirty point escapes the lattice the index
+	// must stay untouched so the caller can still read it while rebuilding.
+	for _, id := range dirty {
+		p := points[id]
+		kx := int(math.Floor(p.X / ci.cell))
+		ky := int(math.Floor(p.Y / ci.cell))
+		if kx < ci.minCX || kx > ci.minCX+ci.spanX || ky < ci.minCY || ky > ci.minCY+ci.spanY {
+			return false
+		}
+	}
+	n := len(points)
+	if n <= cap(ci.cellOf) {
+		ci.cellOf = ci.cellOf[:n]
+	} else {
+		grown := make([]int32, n)
+		copy(grown, ci.cellOf)
+		ci.cellOf = grown
+	}
+	for _, id := range dirty {
+		p := points[id]
+		k := cellKey{cx: int(math.Floor(p.X / ci.cell)), cy: int(math.Floor(p.Y / ci.cell))}
+		c, ok := ci.ids[k]
+		if !ok {
+			c = int32(len(ci.cx))
+			ci.ids[k] = c
+			ci.cx = append(ci.cx, int32(k.cx-ci.minCX))
+			ci.cy = append(ci.cy, int32(k.cy-ci.minCY))
+		}
+		ci.cellOf[id] = c
+	}
+	// CSR rebuild: count, prefix, scatter, reusing the arenas.
+	nc := len(ci.cx)
+	if nc+1 <= cap(ci.start) {
+		ci.start = ci.start[:nc+1]
+	} else {
+		ci.start = make([]int32, nc+1)
+	}
+	for c := range ci.start {
+		ci.start[c] = 0
+	}
+	for _, c := range ci.cellOf {
+		ci.start[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		ci.start[c+1] += ci.start[c]
+	}
+	if n <= cap(ci.nodes) {
+		ci.nodes = ci.nodes[:n]
+	} else {
+		ci.nodes = make([]int32, n)
+	}
+	if nc <= cap(ci.cursor) {
+		ci.cursor = ci.cursor[:nc]
+	} else {
+		ci.cursor = make([]int32, nc)
+	}
+	copy(ci.cursor, ci.start[:nc])
+	for i, c := range ci.cellOf {
+		ci.nodes[ci.cursor[c]] = int32(i)
+		ci.cursor[c]++
+	}
+	return true
 }
 
 // CellOffsetDistBounds returns conservative bounds on the distance between

@@ -245,6 +245,50 @@ func (g *Grid) Insert(id int, p Point) {
 	g.pts[id] = p
 }
 
+// Remove deletes the point with identifier id from the grid. Removing an
+// unknown id is a no-op. The bucket entry is swap-removed, so the order of
+// ids within a cell is not preserved; emptied buckets keep their map key
+// (and slice capacity), which lets churn workloads that revisit the same
+// cells update the grid without allocating.
+func (g *Grid) Remove(id int) {
+	p, ok := g.pts[id]
+	if !ok {
+		return
+	}
+	delete(g.pts, id)
+	g.removeFromCell(g.keyFor(p), id)
+}
+
+// Move relocates the point with identifier id to p, preserving the no-alloc
+// property of Remove when the destination bucket has capacity. Moving an
+// unknown id inserts it.
+func (g *Grid) Move(id int, p Point) {
+	old, ok := g.pts[id]
+	if !ok {
+		g.Insert(id, p)
+		return
+	}
+	g.pts[id] = p
+	ko, kn := g.keyFor(old), g.keyFor(p)
+	if ko == kn {
+		return
+	}
+	g.removeFromCell(ko, id)
+	g.cells[kn] = append(g.cells[kn], id)
+}
+
+// removeFromCell swap-removes id from the bucket of cell k.
+func (g *Grid) removeFromCell(k cellKey, id int) {
+	cell := g.cells[k]
+	for i, cid := range cell {
+		if cid == id {
+			cell[i] = cell[len(cell)-1]
+			g.cells[k] = cell[:len(cell)-1]
+			return
+		}
+	}
+}
+
 // Neighborhood returns the ids of all points within radius r of p
 // (inclusive). The result is sorted for determinism.
 func (g *Grid) Neighborhood(p Point, r float64) []int {

@@ -69,9 +69,10 @@ type Node struct {
 	cfg      Config
 	recorder *core.Recorder
 
-	id    int
-	src   *rng.Source
-	layer core.Layer
+	id      int
+	src     *rng.Source
+	layer   core.Layer
+	initErr error
 
 	ack  *hmbcast.Automaton
 	prog *approgress.Automaton
@@ -92,17 +93,23 @@ func New(cfg Config, recorder *core.Recorder) *Node {
 	return &Node{cfg: cfg, recorder: recorder, seen: make(map[core.MessageID]bool)}
 }
 
-// Init implements sim.Node.
+// Init implements sim.Node. Automaton construction can fail on an invalid
+// configuration; instead of panicking inside library code the error is
+// recorded and reported through InitError (sim.NodeInitError), which the
+// engine checks right after Init and returns to its caller.
 func (n *Node) Init(id int, src *rng.Source) {
 	n.id = id
 	n.src = src
+	n.ack, n.prog, n.initErr = nil, nil, nil
 	ackAut, err := hmbcast.NewAutomaton(n.cfg.Ack, src.Split(), n.onData)
 	if err != nil {
-		panic(err)
+		n.initErr = fmt.Errorf("mac: acknowledgment automaton for node %d: %w", id, err)
+		return
 	}
 	progAut, err := approgress.NewAutomaton(n.cfg.Prog, id, src.Split(), n.onData)
 	if err != nil {
-		panic(err)
+		n.initErr = fmt.Errorf("mac: approximate-progress automaton for node %d: %w", id, err)
+		return
 	}
 	n.ack = ackAut
 	n.prog = progAut
@@ -110,6 +117,9 @@ func (n *Node) Init(id int, src *rng.Source) {
 		n.layer.Attach(id, n, src.Split())
 	}
 }
+
+// InitError implements sim.NodeInitError.
+func (n *Node) InitError() error { return n.initErr }
 
 // SetLayer implements core.MAC.
 func (n *Node) SetLayer(l core.Layer) { n.layer = l }
@@ -125,7 +135,7 @@ func (n *Node) ProgressAutomaton() *approgress.Automaton { return n.prog }
 
 // Bcast implements core.MAC: both halves start broadcasting m.
 func (n *Node) Bcast(slot int64, m core.Message) {
-	if n.cur != nil {
+	if n.cur != nil || n.ack == nil {
 		return
 	}
 	cp := m
@@ -137,7 +147,7 @@ func (n *Node) Bcast(slot int64, m core.Message) {
 
 // Abort implements core.MAC.
 func (n *Node) Abort(slot int64, id core.MessageID) {
-	if n.cur == nil || n.cur.ID != id {
+	if n.cur == nil || n.cur.ID != id || n.ack == nil {
 		return
 	}
 	n.record(core.Event{Kind: core.EventAbort, Node: n.id, Msg: *n.cur, Slot: slot})
@@ -150,6 +160,9 @@ func (n *Node) Abort(slot int64, id core.MessageID) {
 // odd slots run the approximate-progress automaton.
 func (n *Node) Tick(slot int64, f *sim.Frame) bool {
 	n.curSlot = slot
+	if n.ack == nil {
+		return false // Init failed; the engine surfaces InitError instead
+	}
 	if n.layer != nil {
 		n.layer.OnSlot(slot)
 	}
@@ -175,7 +188,7 @@ func (n *Node) Tick(slot int64, f *sim.Frame) bool {
 // the other.
 func (n *Node) Receive(slot int64, f *sim.Frame) {
 	n.curSlot = slot
-	if f == nil {
+	if f == nil || n.ack == nil {
 		return
 	}
 	switch f.Kind {

@@ -46,6 +46,56 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestInitErrorSurfaced checks the library-error contract: an invalid
+// configuration no longer panics inside Init — the node records the
+// construction failure, reports it via InitError, and sim.NewEngine returns
+// it wrapped to the caller. A failed node is inert until re-initialised.
+func TestInitErrorSurfaced(t *testing.T) {
+	bad := testConfig(16)
+	bad.Ack.Lambda = 0
+	n := New(bad, nil)
+	n.Init(0, rng.New(1))
+	if n.InitError() == nil {
+		t.Fatal("InitError() = nil for an invalid ack config")
+	}
+	var f sim.Frame
+	if n.Tick(0, &f) {
+		t.Fatal("failed node transmitted")
+	}
+	n.Receive(1, &f)
+	n.Bcast(1, core.Message{ID: 1, Origin: 0})
+	if n.Busy() {
+		t.Fatal("failed node accepted a broadcast")
+	}
+
+	bad2 := testConfig(16)
+	bad2.Prog.Alpha = 1
+	n2 := New(bad2, nil)
+	n2.Init(0, rng.New(1))
+	if n2.InitError() == nil {
+		t.Fatal("InitError() = nil for an invalid prog config")
+	}
+
+	d, err := topology.Line(2, 2, sinr.DefaultParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := d.Channel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.NewEngine(ch, []sim.Node{New(bad, nil), New(testConfig(16), nil)}, sim.Config{Seed: 1})
+	if err == nil {
+		t.Fatal("NewEngine accepted a node with an invalid MAC config")
+	}
+	// A valid node reports no error.
+	ok := New(testConfig(16), nil)
+	ok.Init(0, rng.New(1))
+	if err := ok.InitError(); err != nil {
+		t.Fatalf("InitError() = %v for a valid config", err)
+	}
+}
+
 // oneShotLayer broadcasts a single message at a given slot and records
 // callbacks.
 type oneShotLayer struct {

@@ -46,10 +46,11 @@ type Node struct {
 	factory  Factory
 	recorder *core.Recorder
 
-	id    int
-	src   *rng.Source
-	aut   Automaton
-	layer core.Layer
+	id      int
+	src     *rng.Source
+	aut     Automaton
+	layer   core.Layer
+	initErr error
 
 	cur     *core.Message
 	curSlot int64
@@ -71,22 +72,27 @@ func New(factory Factory, recorder *core.Recorder) *Node {
 	return &Node{factory: factory, recorder: recorder, seen: make(map[core.MessageID]bool)}
 }
 
-// Init implements sim.Node.
+// Init implements sim.Node. A factory failure (typically an invalid
+// automaton configuration) is recorded rather than panicking inside library
+// code; the engine reads it back through InitError (sim.NodeInitError)
+// right after Init and returns the wrapped error to its caller.
 func (n *Node) Init(id int, src *rng.Source) {
 	n.id = id
 	n.src = src
+	n.aut, n.initErr = nil, nil
 	aut, err := n.factory(src.Split(), n.onData)
 	if err != nil {
-		// Configuration errors are programming errors at this point: the
-		// engine has no error path for Init and configurations are
-		// validated when nodes are constructed.
-		panic(fmt.Sprintf("macnode: automaton construction failed: %v", err))
+		n.initErr = fmt.Errorf("macnode: automaton construction for node %d failed: %w", id, err)
+		return
 	}
 	n.aut = aut
 	if n.layer != nil {
 		n.layer.Attach(id, n, src.Split())
 	}
 }
+
+// InitError implements sim.NodeInitError.
+func (n *Node) InitError() error { return n.initErr }
 
 // SetLayer implements core.MAC.
 func (n *Node) SetLayer(l core.Layer) { n.layer = l }
@@ -100,7 +106,7 @@ func (n *Node) ID() int { return n.id }
 // Bcast implements core.MAC. The enhanced absMAC allows one outstanding
 // broadcast per node; extra requests are dropped (higher layers queue).
 func (n *Node) Bcast(slot int64, m core.Message) {
-	if n.cur != nil {
+	if n.cur != nil || n.aut == nil {
 		return
 	}
 	cp := m
@@ -111,7 +117,7 @@ func (n *Node) Bcast(slot int64, m core.Message) {
 
 // Abort implements core.MAC.
 func (n *Node) Abort(slot int64, id core.MessageID) {
-	if n.cur == nil || n.cur.ID != id {
+	if n.cur == nil || n.cur.ID != id || n.aut == nil {
 		return
 	}
 	n.record(core.Event{Kind: core.EventAbort, Node: n.id, Msg: *n.cur, Slot: slot})
@@ -122,6 +128,9 @@ func (n *Node) Abort(slot int64, id core.MessageID) {
 // Tick implements sim.Node.
 func (n *Node) Tick(slot int64, f *sim.Frame) bool {
 	n.curSlot = slot
+	if n.aut == nil {
+		return false // Init failed; the engine surfaces InitError instead
+	}
 	if n.layer != nil {
 		n.layer.OnSlot(slot)
 	}
@@ -141,6 +150,9 @@ func (n *Node) Tick(slot int64, f *sim.Frame) bool {
 // Receive implements sim.Node.
 func (n *Node) Receive(slot int64, f *sim.Frame) {
 	n.curSlot = slot
+	if n.aut == nil {
+		return
+	}
 	n.aut.Receive(f)
 }
 

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sinrmac/internal/geom"
+	"sinrmac/internal/rng"
+	"sinrmac/internal/sinr"
+)
+
+// churnTestDelta hand-builds the epoch deltas the engine tests apply (the
+// full topology commit path is exercised by topology's and sinr's own
+// tests; here only the engine-side semantics matter).
+
+// latticePositions lays n nodes on a spacing-2 line.
+func latticePositions(n int) []geom.Point {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: 2 * float64(i), Y: 0}
+	}
+	return pos
+}
+
+// churnEngine builds an engine of randomNodes over a fresh channel.
+func churnEngine(t *testing.T, n int, seed uint64, fast bool) (*Engine, []Node) {
+	t.Helper()
+	ch, err := sinr.NewChannel(sinr.DefaultParams(10), latticePositions(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &randomNode{p: 0.2}
+	}
+	cfg := Config{Seed: seed, Workers: 2}
+	if fast {
+		cfg.Evaluator = sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 2})
+	}
+	eng, err := NewEngine(ch, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, nodes
+}
+
+// TestEngineApplyEpochDifferential runs the same churn schedule on a
+// naive-evaluator engine and a fast-evaluator engine: the executions —
+// per-slot receptions observed, aggregate stats — must be identical, and
+// both must keep running correctly as nodes move, leave and join.
+func TestEngineApplyEpochDifferential(t *testing.T) {
+	const n, seed = 24, 11
+	type run struct {
+		eng  *Engine
+		recs [][]int
+	}
+	runs := make([]*run, 2)
+	for i, fast := range []bool{false, true} {
+		r := &run{}
+		r.eng, _ = churnEngine(t, n, seed, fast)
+		r.eng.AddObserver(ObserverFunc(func(slot int64, tx []int, recs []sinr.Reception) {
+			row := make([]int, len(recs))
+			for j, rec := range recs {
+				row[j] = rec.Sender
+			}
+			r.recs = append(r.recs, row)
+		}))
+		runs[i] = r
+	}
+
+	// One delta sequence drives both engines (deltas are reusable across
+	// evaluator families).
+	pos := latticePositions(n)
+	schedule := make([]*sinr.EpochDelta, 0, 3)
+	// Epoch 1: move node 3 and node 7.
+	p1 := append([]geom.Point(nil), pos...)
+	p1[3] = geom.Point{X: p1[3].X + 0.7, Y: 0.5}
+	p1[7] = geom.Point{X: p1[7].X - 0.6, Y: -0.4}
+	schedule = append(schedule, &sinr.EpochDelta{OldN: n, NewN: n, Dirty: []int{3, 7}, Positions: p1})
+	// Epoch 2: remove node 5 (last relabels into it) and add one node.
+	p2 := append([]geom.Point(nil), p1...)
+	p2[5] = p2[n-1]
+	p2 = p2[:n-1]
+	p2 = append(p2, geom.Point{X: -2, Y: 2})
+	schedule = append(schedule, &sinr.EpochDelta{
+		OldN: n, NewN: n, Dirty: []int{5, n - 1},
+		Relabels: []sinr.Relabel{{From: n - 1, To: 5}},
+		Added:    []int{n - 1}, Removed: 1, Positions: p2,
+	})
+	// Epoch 3: pure shrink (remove the last node).
+	p3 := append([]geom.Point(nil), p2...)
+	p3 = p3[:n-1]
+	schedule = append(schedule, &sinr.EpochDelta{OldN: n, NewN: n - 1, Removed: 1, Positions: p3})
+
+	for _, r := range runs {
+		r.eng.Run(30, nil)
+		for _, delta := range schedule {
+			if err := r.eng.ApplyEpoch(delta, func(id int) Node { return &randomNode{p: 0.2} }); err != nil {
+				t.Fatal(err)
+			}
+			r.eng.Run(30, nil)
+		}
+	}
+	a, b := runs[0], runs[1]
+	if a.eng.Stats() != b.eng.Stats() {
+		t.Fatalf("stats diverged: naive %+v, fast %+v", a.eng.Stats(), b.eng.Stats())
+	}
+	if len(a.recs) != len(b.recs) {
+		t.Fatalf("slot counts diverged: %d vs %d", len(a.recs), len(b.recs))
+	}
+	for slot := range a.recs {
+		if len(a.recs[slot]) != len(b.recs[slot]) {
+			t.Fatalf("slot %d: reception widths diverged", slot)
+		}
+		for j := range a.recs[slot] {
+			if a.recs[slot][j] != b.recs[slot][j] {
+				t.Fatalf("slot %d node %d: naive decoded %d, fast %d",
+					slot, j, a.recs[slot][j], b.recs[slot][j])
+			}
+		}
+	}
+}
+
+// TestEngineApplyEpochRelabel checks the automaton surgery: survivors keep
+// their state and follow the swap-remove relabel, removed automata drop
+// out, and exactly the added nodes are initialised (once, with their new
+// id).
+func TestEngineApplyEpochRelabel(t *testing.T) {
+	const n = 8
+	eng, _ := churnEngine(t, n, 3, true)
+	eng.Run(10, nil)
+	moved := eng.Node(n - 1) // will be relabeled into slot 2
+	removed := eng.Node(2)   // will leave the deployment
+	sentBefore := moved.(*randomNode).sent
+
+	pos := latticePositions(n)
+	p := append([]geom.Point(nil), pos...)
+	p[2] = p[n-1]
+	p = p[:n-1]
+	p = append(p, geom.Point{X: -4, Y: 0})
+	inits := 0
+	delta := &sinr.EpochDelta{
+		OldN: n, NewN: n, Dirty: []int{2, n - 1},
+		Relabels: []sinr.Relabel{{From: n - 1, To: 2}},
+		Added:    []int{n - 1}, Removed: 1, Positions: p,
+	}
+	err := eng.ApplyEpoch(delta, func(id int) Node {
+		inits++
+		if id != n-1 {
+			t.Fatalf("factory called for id %d, want %d", id, n-1)
+		}
+		return &randomNode{p: 0.2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inits != 1 {
+		t.Fatalf("factory called %d times, want 1", inits)
+	}
+	if eng.Node(2) != moved {
+		t.Fatal("relabeled automaton did not follow its node")
+	}
+	if got := moved.(*randomNode).sent; got != sentBefore {
+		t.Fatal("relabel re-initialised a surviving automaton")
+	}
+	// The added automaton gets a fresh protocol identity, never a reused
+	// slot id: the survivor relabeled into slot 2 still answers to id n-1,
+	// so handing the newcomer n-1 would put two live automata on one
+	// identity.
+	if got := eng.Node(n - 1).(*randomNode).id; got != n {
+		t.Fatalf("added automaton initialised with id %d, want fresh id %d", got, n)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		id := eng.Node(i).(*randomNode).id
+		if seen[id] {
+			t.Fatalf("two live automata share protocol id %d", id)
+		}
+		seen[id] = true
+	}
+	// The pre-epoch automaton at slot 2 is gone.
+	for i := 0; i < n; i++ {
+		if eng.Node(i) == removed {
+			t.Fatal("removed automaton still wired into the engine")
+		}
+	}
+	eng.Run(10, nil) // post-epoch slots keep working
+}
+
+// TestEngineApplyEpochErrors covers the hook's error paths.
+func TestEngineApplyEpochErrors(t *testing.T) {
+	const n = 6
+	eng, _ := churnEngine(t, n, 5, true)
+	pos := latticePositions(n)
+	if err := eng.ApplyEpoch(&sinr.EpochDelta{OldN: n + 1, NewN: n + 1, Positions: latticePositions(n + 1)}, nil); err == nil {
+		t.Fatal("accepted a delta for the wrong node count")
+	}
+	grown := append(latticePositions(n), geom.Point{X: -2, Y: 0})
+	addDelta := &sinr.EpochDelta{OldN: n, NewN: n + 1, Dirty: []int{n}, Added: []int{n}, Positions: grown}
+	if err := eng.ApplyEpoch(addDelta, nil); err == nil || !strings.Contains(err.Error(), "factory") {
+		t.Fatalf("missing-factory error = %v", err)
+	}
+	// A factory that returns nil, or a node whose Init fails, aborts the
+	// apply before anything — evaluator included — is mutated.
+	if err := eng.ApplyEpoch(addDelta, func(id int) Node { return nil }); err == nil || !strings.Contains(err.Error(), "nil") {
+		t.Fatalf("nil-factory error = %v", err)
+	}
+	if err := eng.ApplyEpoch(addDelta, func(id int) Node { return &initFailNode{} }); err == nil ||
+		!strings.Contains(err.Error(), "failed to initialise") {
+		t.Fatalf("failing-init error = %v", err)
+	}
+	// Every failed apply leaves the engine usable at its old size.
+	if got := len(eng.nodes); got != n {
+		t.Fatalf("failed apply resized the engine to %d nodes", got)
+	}
+	eng.Run(5, nil)
+	// ...and a subsequent valid apply still works.
+	if err := eng.ApplyEpoch(addDelta, func(id int) Node { return &randomNode{p: 0.2} }); err != nil {
+		t.Fatalf("apply after failed applies: %v", err)
+	}
+	eng.Run(5, nil)
+	_ = pos
+}
+
+// initFailNode fails its Init and reports it via NodeInitError.
+type initFailNode struct{ err error }
+
+func (f *initFailNode) Init(id int, src *rng.Source) { f.err = errors.New("bad config") }
+func (f *initFailNode) InitError() error             { return f.err }
+func (f *initFailNode) Tick(slot int64, fr *Frame) bool {
+	return false
+}
+func (f *initFailNode) Receive(slot int64, fr *Frame) {}
+
+// TestEngineSurfacesInitErrors checks that NewEngine and Reset return a
+// node's recorded Init failure instead of letting protocols panic.
+func TestEngineSurfacesInitErrors(t *testing.T) {
+	ch, err := sinr.NewChannel(sinr.DefaultParams(10), latticePositions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(ch, []Node{&initFailNode{}, &randomNode{p: 0.1}}, Config{Seed: 1}); err == nil ||
+		!strings.Contains(err.Error(), "bad config") {
+		t.Fatalf("NewEngine error = %v, want wrapped init failure", err)
+	}
+	eng, err := NewEngine(ch, []Node{&randomNode{p: 0.1}, &randomNode{p: 0.1}}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Reset([]Node{&randomNode{p: 0.1}, &initFailNode{}}, 2); err == nil ||
+		!strings.Contains(err.Error(), "bad config") {
+		t.Fatalf("Reset error = %v, want wrapped init failure", err)
+	}
+}

@@ -31,6 +31,11 @@
 // evaluator's receiver scan, all run on one persistent worker pool
 // (internal/workpool) whose goroutines are parked between phases rather
 // than respawned per slot.
+//
+// Deployments may churn mid-execution: Engine.ApplyEpoch applies a
+// committed topology epoch between slots — the evaluator patches its
+// state, surviving automata keep their protocol state and follow the
+// swap-remove relabels, and only added nodes are initialised.
 package sim
 
 import (
@@ -61,6 +66,26 @@ type Node interface {
 	// (half-duplex). The frame and its payload are valid only for the
 	// duration of the call; retain by copying.
 	Receive(slot int64, f *Frame)
+}
+
+// NodeInitError is implemented by nodes whose Init can fail — typically
+// because constructing the node's protocol automaton from its configuration
+// fails. Init itself has no error return (it is called on the engine's hot
+// construction path for every node), so such nodes record the failure and
+// report it here; NewEngine, Reset and ApplyEpoch consult the interface
+// right after calling Init and surface the wrapped error to the caller
+// instead of letting library code panic.
+type NodeInitError interface {
+	// InitError returns the error the last Init recorded, or nil.
+	InitError() error
+}
+
+// initErrorOf returns the node's recorded Init failure, if any.
+func initErrorOf(n Node) error {
+	if r, ok := n.(NodeInitError); ok {
+		return r.InitError()
+	}
+	return nil
 }
 
 // Observer is notified after every simulated slot. Observers are used by
@@ -122,8 +147,16 @@ type Engine struct {
 	cfg       Config
 	workers   int // resolved worker count, cached at construction/Reset
 
-	slot  int64
-	stats Stats
+	slot   int64
+	stats  Stats
+	epochs int // churn epochs applied, salts the added-node rng labels
+	// nextID is the next never-used protocol identity. Survivors of a churn
+	// epoch keep the id they were initialised with even after a swap-remove
+	// relabel moves them to another slot, so nodes added later must draw
+	// fresh identities — reusing a freed slot index would collide with a
+	// survivor's id and break identity-based protocol logic (origin
+	// deduplication, MIS tie-breaking).
+	nextID int
 
 	// frames is the per-node frame pool: frames[i] is handed to node i on
 	// every Tick and delivered to its receivers on decode. Allocated once.
@@ -189,10 +222,13 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 	e := &Engine{
 		channel:   channel,
 		evaluator: evaluator,
-		nodes:     nodes,
-		cfg:       cfg,
-		frames:    make([]Frame, len(nodes)),
-		sent:      make([]bool, len(nodes)),
+		// The engine owns its node table: ApplyEpoch relabels and truncates
+		// it in place, which must never reach through to a slice the caller
+		// retains for its own bookkeeping.
+		nodes:  append([]Node(nil), nodes...),
+		cfg:    cfg,
+		frames: make([]Frame, len(nodes)),
+		sent:   make([]bool, len(nodes)),
 	}
 	e.tickTask = phaseTask{e: e, fn: (*Engine).tickChunk}
 	e.recvTask = phaseTask{e: e, fn: (*Engine).recvChunk}
@@ -212,12 +248,16 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 	} else if cfg.Parallel {
 		e.pool = workpool.New()
 	}
+	e.nextID = len(nodes)
 	master := rng.New(cfg.Seed)
 	for i, n := range nodes {
 		if n == nil {
 			return nil, fmt.Errorf("sim: node %d is nil", i)
 		}
 		n.Init(i, master.SplitLabeled(uint64(i)))
+		if err := initErrorOf(n); err != nil {
+			return nil, fmt.Errorf("sim: node %d failed to initialise: %w", i, err)
+		}
 	}
 	return e, nil
 }
@@ -244,7 +284,7 @@ func (e *Engine) Reset(nodes []Node, seed uint64) error {
 			return fmt.Errorf("sim: node %d is nil", i)
 		}
 	}
-	e.nodes = nodes
+	e.nodes = append(e.nodes[:0], nodes...)
 	e.observers = e.observers[:0]
 	e.slot = 0
 	e.stats = Stats{}
@@ -258,9 +298,121 @@ func (e *Engine) Reset(nodes []Node, seed uint64) error {
 		e.rxCounts = make([]int64, e.workers)
 	}
 	e.cfg.Seed = seed
+	e.epochs = 0
+	e.nextID = len(nodes)
 	master := rng.New(seed)
 	for i, n := range nodes {
 		n.Init(i, master.SplitLabeled(uint64(i)))
+		if err := initErrorOf(n); err != nil {
+			return fmt.Errorf("sim: node %d failed to initialise: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// churnInitLabel salts the rng label path of nodes added by churn epochs,
+// so an added node's stream never collides with an original node's
+// (which are derived from the bare id label).
+const churnInitLabel uint64 = 0xc402c4
+
+// ApplyEpoch applies a committed churn epoch (topology.Deployment.
+// CommitEpoch) to a running simulation, between slots: the evaluator (and
+// through it the channel) patches its state via sinr's EpochApplier
+// capability, surviving node automata follow their node through the
+// swap-remove relabels, removed automata are dropped, and only the added
+// nodes are initialised — every existing automaton keeps its protocol state
+// across the epoch, exactly as a deployed node would keep its state while
+// neighbours churn around it.
+//
+// newNode supplies the automaton for each added slot id; it may be nil when
+// the epoch adds none. An added automaton is initialised with a FRESH
+// protocol identity — the next id never used in this execution, not its
+// slot index — because a surviving automaton keeps the id it was
+// initialised with even after a relabel moves it to another slot, and
+// reusing a freed id would let two live automata share an identity (which
+// breaks origin deduplication and MIS tie-breaking at the protocol layer).
+// Slot-indexed engine artifacts (receptions, Frame.From, Node(i)) keep
+// using slot ids as before. Added nodes draw their rng streams from
+// (Seed, churn, epoch#, identity) labels, so executions remain
+// reproducible. ApplyEpoch must not be called concurrently with Step.
+func (e *Engine) ApplyEpoch(delta *sinr.EpochDelta, newNode func(id int) Node) error {
+	ap, ok := e.evaluator.(sinr.EpochApplier)
+	if !ok {
+		return fmt.Errorf("sim: evaluator %T cannot apply churn epochs", e.evaluator)
+	}
+	if err := delta.Validate(); err != nil {
+		return err
+	}
+	if delta.OldN != len(e.nodes) {
+		return fmt.Errorf("sim: epoch delta for %d nodes applied to a %d-node engine", delta.OldN, len(e.nodes))
+	}
+	if len(delta.Added) > 0 && newNode == nil {
+		return fmt.Errorf("sim: epoch adds %d nodes but no node factory was supplied", len(delta.Added))
+	}
+	// Added automata are built and initialised BEFORE anything is mutated:
+	// every remaining failure (nil factory result, out-of-order slot,
+	// recorded Init error, evaluator rejection — the evaluators validate
+	// before touching their state) then leaves the engine fully usable at
+	// its pre-epoch size, so callers may treat a failed apply as
+	// recoverable.
+	firstAdd := delta.OldN - delta.Removed
+	added := make([]Node, 0, len(delta.Added))
+	master := rng.New(e.cfg.Seed)
+	epoch := uint64(e.epochs + 1)
+	for i, id := range delta.Added {
+		if id != firstAdd+i {
+			return fmt.Errorf("sim: epoch adds node %d out of order (expected slot %d)", id, firstAdd+i)
+		}
+		n := newNode(id)
+		if n == nil {
+			return fmt.Errorf("sim: node factory returned nil for added node %d", id)
+		}
+		identity := e.nextID + i
+		n.Init(identity, master.SplitLabels(churnInitLabel, epoch, uint64(identity)))
+		if err := initErrorOf(n); err != nil {
+			return fmt.Errorf("sim: added node %d failed to initialise: %w", id, err)
+		}
+		added = append(added, n)
+	}
+	if err := ap.ApplyEpoch(delta); err != nil {
+		return err
+	}
+	e.epochs++
+	e.nextID += len(added)
+	// Survivors follow their node: the sequential relabel chain mirrors the
+	// swap-removes CommitEpoch performed on the positions.
+	for _, rl := range delta.Relabels {
+		e.nodes[rl.To] = e.nodes[rl.From]
+	}
+	e.nodes = append(e.nodes[:firstAdd], added...)
+	if len(e.nodes) != delta.NewN {
+		return fmt.Errorf("sim: epoch left %d nodes, expected %d", len(e.nodes), delta.NewN)
+	}
+	// Resize the per-node scratch. Frames are per-slot scratch, so resetting
+	// them wholesale is safe between slots.
+	if delta.NewN > cap(e.frames) {
+		e.frames = make([]Frame, delta.NewN)
+	} else {
+		e.frames = e.frames[:delta.NewN]
+	}
+	for i := range e.frames {
+		e.frames[i] = Frame{From: i}
+	}
+	if delta.NewN > cap(e.sent) {
+		e.sent = make([]bool, delta.NewN)
+	} else {
+		e.sent = e.sent[:delta.NewN]
+	}
+	for i := range e.sent {
+		e.sent[i] = false
+	}
+	e.txScratch = e.txScratch[:0]
+	e.workers = e.resolveWorkers()
+	if len(e.rxCounts) < e.workers {
+		e.rxCounts = make([]int64, e.workers)
+	}
+	if pe, ok := e.evaluator.(sinr.ParallelEvaluator); ok {
+		pe.SetWorkers(e.workers)
 	}
 	return nil
 }

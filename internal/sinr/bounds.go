@@ -162,23 +162,40 @@ type boundsIndex struct {
 
 // boundsHolder shares one lazily built boundsIndex between an evaluator
 // and all its forks: whichever of them first takes a dense slot builds the
-// index, concurrent forks block on the Once instead of duplicating the
-// O(n) decomposition and the offset tables.
+// index, concurrent forks block on the mutex instead of duplicating the
+// O(n) decomposition and the offset tables. Unlike a sync.Once the holder
+// can be reset: a churn epoch whose changes escape the original lattice
+// invalidates it in place (no allocation on the apply path) and the next
+// dense slot rebuilds from the post-epoch positions.
 type boundsHolder struct {
-	once sync.Once
-	idx  *boundsIndex // nil when the tier is latched off
-	off  bool
+	mu    sync.Mutex
+	built bool
+	idx   *boundsIndex // nil when the tier is latched off
+	off   bool
+}
+
+// invalidate drops the holder's index so the next dense slot rebuilds it.
+func (h *boundsHolder) invalidate() {
+	h.mu.Lock()
+	h.built, h.idx, h.off = false, nil, false
+	h.mu.Unlock()
 }
 
 // ensureBoundsIndex resolves the shared cell decomposition and offset
-// tables, building them exactly once across all forks, and sizes this
-// evaluator's private scratch. The tier is latched off instead when the
-// deployment's extent would make the tables exceed boundsMaxOffsets.
+// tables, building them exactly once across all forks (until a churn epoch
+// invalidates the holder), and sizes this evaluator's private scratch. The
+// tier is latched off instead when the deployment's extent would make the
+// tables exceed boundsMaxOffsets.
 func (f *FastChannel) ensureBoundsIndex() {
 	h := f.bholder
-	h.once.Do(func() { h.idx, h.off = f.buildBoundsIndex() })
+	h.mu.Lock()
+	if !h.built {
+		h.idx, h.off = f.buildBoundsIndex()
+		h.built = true
+	}
 	f.bidx, f.boundsOff = h.idx, h.off
-	if f.bidx != nil && f.txCellCnt == nil {
+	h.mu.Unlock()
+	if f.bidx != nil {
 		f.growBoundsScratch()
 	}
 }
@@ -216,10 +233,15 @@ func (f *FastChannel) buildBoundsIndex() (*boundsIndex, bool) {
 }
 
 // growBoundsScratch sizes the per-slot scratch of the bounds tier for the
-// evaluator's own use. Forks share the immutable index but call this to own
-// private scratch.
+// evaluator's own use. Forks share the index but call this to own private
+// scratch. It is also re-run after churn epochs, which can grow the cell
+// count (or swap in a rebuilt index with a different shape); scratch already
+// large enough is kept, so steady-state churn allocates nothing here.
 func (f *FastChannel) growBoundsScratch() {
 	nc := f.bidx.cells.NumCells()
+	if len(f.txCellCnt) >= nc && len(f.nearCells) >= nc*f.bidx.nearStride {
+		return
+	}
 	f.txCellCnt = make([]int32, nc)
 	f.txCellStart = make([]int32, nc)
 	f.txCellFill = make([]int32, nc)
@@ -467,7 +489,7 @@ func (f *FastChannel) boundsMatrixChunk(lo, hi, worker int) {
 			continue
 		}
 		evaluated++
-		mrow := f.mat[r*f.n : (r+1)*f.n]
+		mrow := f.mat[r*f.stride : r*f.stride+f.n]
 		rc := bi.cells.CellOf(r)
 		exactNear := 0.0
 		best := -1

@@ -147,6 +147,9 @@ type FastChannel struct {
 	pos     []geom.Point
 	n       int
 	workers int
+	// workersReq is the last requested (unclamped) worker count; ApplyEpoch
+	// re-resolves the clamp when the node count changes.
+	workersReq int
 
 	beta, noise float64
 	// cullPower is the received power below which a sender provably cannot
@@ -155,12 +158,22 @@ type FastChannel struct {
 	cullPower  float64
 	cullRadius float64
 
-	mat  []float64  // n×n received-power matrix (mat[r*n+s]), nil in grid mode
-	grid *geom.Grid // all-node spatial index (both modes)
+	// mat is the received-power matrix (mat[r*stride+s]), nil in grid mode.
+	// stride equals n at construction and grows (with headroom) when churn
+	// epochs push the node count past it, so moderate add/remove churn
+	// patches the matrix in place instead of reshaping it.
+	mat    []float64
+	stride int
+	grid   *geom.Grid // all-node spatial index (both modes)
 
 	sparseFactor int
-	// logBallMiss is ln(1 - ballArea/deploymentArea), precomputed for the
-	// adaptive per-slot coverage estimate 1-exp(k·logBallMiss).
+	// box is the (monotonically expanded) bounding box of the deployment and
+	// logBallMiss is ln(1 - ballArea/deploymentArea) derived from it,
+	// precomputed for the adaptive per-slot coverage estimate
+	// 1-exp(k·logBallMiss). Churn epochs expand the box by the changed
+	// positions (it never shrinks below a past extent — the estimate only
+	// steers dispatch, never correctness) and refresh logBallMiss.
+	box         geom.Rect
 	logBallMiss float64
 
 	// Lazy column cache (grid mode): cols[s] is the received power of
@@ -171,6 +184,7 @@ type FastChannel struct {
 	cols          [][]float64
 	colBudget     int
 	colBudgetInit int
+	colBytes      int64 // configured byte budget, kept to re-derive colBudgetInit under churn
 
 	pool *workpool.Pool
 	// chunkFn is the loop body of the current parallel scan; RunChunk
@@ -268,13 +282,34 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 	for i, p := range f.pos {
 		f.grid.Insert(i, p)
 	}
-	// Precompute the per-ball miss probability for the adaptive sparse
-	// crossover. Clamping each bounding-box dimension to the ball diameter
-	// keeps the density estimate meaningful for degenerate (line-like or
-	// tiny) deployments: the reachable region around a line of length L is
-	// a strip of area ≈ L·2r, not the zero-area box.
-	box := geom.BoundingBox(f.pos)
-	area := math.Max(box.Width(), 2*f.cullRadius) * math.Max(box.Height(), 2*f.cullRadius)
+	f.box = geom.BoundingBox(f.pos)
+	f.updateCoverageModel()
+	if n <= threshold {
+		f.mat = buildPowerMatrix(c)
+		f.stride = n
+	} else {
+		budget := opt.ColumnCacheBytes
+		if budget == 0 {
+			budget = DefaultColumnCacheBytes
+		}
+		f.colBytes = budget
+		f.cols = make([][]float64, n)
+		if budget > 0 {
+			f.colBudgetInit = int(budget / int64(8*n))
+			f.colBudget = f.colBudgetInit
+		}
+	}
+	return f
+}
+
+// updateCoverageModel derives logBallMiss — the per-ball miss probability of
+// the adaptive sparse crossover — from the current bounding box. Clamping
+// each box dimension to the ball diameter keeps the density estimate
+// meaningful for degenerate (line-like or tiny) deployments: the reachable
+// region around a line of length L is a strip of area ≈ L·2r, not the
+// zero-area box.
+func (f *FastChannel) updateCoverageModel() {
+	area := math.Max(f.box.Width(), 2*f.cullRadius) * math.Max(f.box.Height(), 2*f.cullRadius)
 	miss := 1 - math.Pi*f.cullRadius*f.cullRadius/area
 	if miss <= 0 {
 		// A single ball covers the whole deployment: the estimate is total
@@ -284,20 +319,6 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 	} else {
 		f.logBallMiss = math.Log(miss)
 	}
-	if n <= threshold {
-		f.mat = buildPowerMatrix(c)
-	} else {
-		budget := opt.ColumnCacheBytes
-		if budget == 0 {
-			budget = DefaultColumnCacheBytes
-		}
-		f.cols = make([][]float64, n)
-		if budget > 0 {
-			f.colBudgetInit = int(budget / int64(8*n))
-			f.colBudget = f.colBudgetInit
-		}
-	}
-	return f
 }
 
 // Fork returns an evaluator that shares f's immutable state — the underlying
@@ -317,16 +338,20 @@ func (f *FastChannel) Fork() *FastChannel {
 		pos:           f.pos,
 		n:             f.n,
 		workers:       f.workers,
+		workersReq:    f.workersReq,
 		beta:          f.beta,
 		noise:         f.noise,
 		cullPower:     f.cullPower,
 		cullRadius:    f.cullRadius,
 		mat:           f.mat,
+		stride:        f.stride,
 		grid:          f.grid,
 		sparseFactor:  f.sparseFactor,
 		boundsFactor:  f.boundsFactor,
 		bholder:       f.bholder,
+		box:           f.box,
 		logBallMiss:   f.logBallMiss,
+		colBytes:      f.colBytes,
 		colBudgetInit: f.colBudgetInit,
 		out:           make([]Reception, f.n),
 		isTx:          make([]bool, f.n),
@@ -405,8 +430,10 @@ func (f *FastChannel) WorkerPool() *workpool.Pool { return f.pool }
 func (f *FastChannel) SetWorkers(workers int) { f.setWorkers(workers) }
 
 // setWorkers resolves and caches the effective worker count once, instead
-// of consulting runtime.GOMAXPROCS on every slot.
+// of consulting runtime.GOMAXPROCS on every slot. The unclamped request is
+// retained so churn epochs that change n can re-resolve the clamp.
 func (f *FastChannel) setWorkers(workers int) {
+	f.workersReq = workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -546,7 +573,7 @@ func (f *FastChannel) matrixChunk(lo, hi, worker int) {
 		if f.isTx[r] {
 			continue // half-duplex: a transmitting node cannot receive
 		}
-		row := f.mat[r*f.n : (r+1)*f.n]
+		row := f.mat[r*f.stride : r*f.stride+f.n]
 		total := 0.0
 		for _, s := range tx {
 			total += row[s]
@@ -577,7 +604,7 @@ func (f *FastChannel) sparseMatrixChunk(lo, hi, worker int) {
 		if f.isTx[r] {
 			continue
 		}
-		row := f.mat[r*f.n : (r+1)*f.n]
+		row := f.mat[r*f.stride : r*f.stride+f.n]
 		total := 0.0
 		for _, s := range tx {
 			total += row[s]

@@ -23,6 +23,13 @@
 // culling slack; interference bounds widened by a Θ(k)·ulp rounding slack)
 // or fall back to it. The differential tests in this package hold every
 // path bit-identical to the reference.
+//
+// Deployments may churn: committed topology epochs (sinr.EpochDelta) are
+// applied to live evaluators via ApplyEpoch — the naive channel swaps its
+// position slice, FastChannel patches its indices incrementally (see
+// churn.go for the epoch lifecycle, the per-index patch rules and the
+// incremental-vs-rebuild crossover) — and the churn differential suite
+// holds the patched evaluator bit-identical to a from-scratch rebuild.
 package sinr
 
 import (

@@ -1,0 +1,193 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"sinrmac/internal/geom"
+	"sinrmac/internal/sinr"
+)
+
+// epochTestDeployment is a 4×4 unit-grid-at-spacing-2 deployment, roomy
+// enough that jittered epochs keep the unit-distance invariant.
+func epochTestDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := Grid(4, 4, 2, sinr.DefaultParams(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCommitEpochMoveAddRemove(t *testing.T) {
+	d := epochTestDeployment(t)
+	orig := append([]geom.Point(nil), d.Positions...)
+	n := d.NumNodes() // 16
+
+	moved := geom.Point{X: orig[2].X + 0.5, Y: orig[2].Y + 0.5}
+	added := geom.Point{X: -4, Y: -4}
+	d.MoveNode(2, moved)
+	d.RemoveNode(5)
+	d.AddNode(added)
+	if got := d.PendingOps(); got != 3 {
+		t.Fatalf("PendingOps = %d, want 3", got)
+	}
+	delta, err := d.CommitEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PendingOps() != 0 {
+		t.Fatal("pending ops survived the commit")
+	}
+	if delta.OldN != n || delta.NewN != n || delta.Removed != 1 || len(delta.Added) != 1 {
+		t.Fatalf("delta counts = %+v", delta)
+	}
+	if d.NumNodes() != n {
+		t.Fatalf("NumNodes = %d, want %d", d.NumNodes(), n)
+	}
+	// Swap-remove semantics: the pre-epoch last node (15) fills slot 5, the
+	// added node appends at the freed tail slot.
+	if len(delta.Relabels) != 1 || delta.Relabels[0] != (sinr.Relabel{From: 15, To: 5}) {
+		t.Fatalf("relabels = %v", delta.Relabels)
+	}
+	if d.Positions[5] != orig[15] {
+		t.Fatalf("slot 5 holds %v, want relabeled %v", d.Positions[5], orig[15])
+	}
+	if d.Positions[2] != moved {
+		t.Fatalf("slot 2 holds %v, want moved %v", d.Positions[2], moved)
+	}
+	if delta.Added[0] != 15 || d.Positions[15] != added {
+		t.Fatalf("added id %v at %v", delta.Added, d.Positions[15])
+	}
+	// Dirty is sorted and is exactly the changed slots: 2 (move), 5
+	// (relabel target), 15 (add).
+	want := []int{2, 5, 15}
+	if len(delta.Dirty) != len(want) {
+		t.Fatalf("dirty = %v, want %v", delta.Dirty, want)
+	}
+	for i, id := range want {
+		if delta.Dirty[i] != id {
+			t.Fatalf("dirty = %v, want %v", delta.Dirty, want)
+		}
+	}
+	// The delta owns its positions: later epochs must not mutate them.
+	snapshot := append([]geom.Point(nil), delta.Positions...)
+	d.MoveNode(0, geom.Point{X: orig[0].X + 0.3, Y: orig[0].Y})
+	if _, err := d.CommitEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range snapshot {
+		if delta.Positions[i] != snapshot[i] {
+			t.Fatal("a later epoch mutated an earlier delta's positions")
+		}
+	}
+	if d.Epochs() != 2 {
+		t.Fatalf("Epochs = %d, want 2", d.Epochs())
+	}
+}
+
+func TestCommitEpochValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		queue func(d *Deployment)
+		want  string
+	}{
+		{"empty", func(d *Deployment) {}, "no queued mutations"},
+		{"bad id", func(d *Deployment) { d.RemoveNode(99) }, "references node"},
+		{"negative id", func(d *Deployment) { d.MoveNode(-1, geom.Point{}) }, "references node"},
+		{"double touch", func(d *Deployment) {
+			d.MoveNode(3, geom.Point{X: 100, Y: 100})
+			d.RemoveNode(3)
+		}, "twice"},
+		{"spacing", func(d *Deployment) {
+			d.MoveNode(0, geom.Point{X: d.Positions[1].X + 0.2, Y: d.Positions[1].Y})
+		}, "near-field"},
+		{"spacing of added", func(d *Deployment) {
+			d.AddNode(geom.Point{X: d.Positions[4].X + 0.3, Y: d.Positions[4].Y})
+		}, "near-field"},
+		{"remove all", func(d *Deployment) {
+			for i := 0; i < 16; i++ {
+				d.RemoveNode(i)
+			}
+		}, "every node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := epochTestDeployment(t)
+			before := append([]geom.Point(nil), d.Positions...)
+			tc.queue(d)
+			_, err := d.CommitEpoch()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("CommitEpoch error = %v, want %q", err, tc.want)
+			}
+			if d.PendingOps() != 0 {
+				t.Fatal("failed commit left ops queued")
+			}
+			if len(d.Positions) != len(before) {
+				t.Fatalf("failed commit resized the deployment to %d", len(d.Positions))
+			}
+			for i := range before {
+				if d.Positions[i] != before[i] {
+					t.Fatal("failed commit mutated the deployment")
+				}
+			}
+			if d.Epochs() != 0 {
+				t.Fatal("failed commit counted as an epoch")
+			}
+		})
+	}
+}
+
+// TestValidateAfterBreakingEpoch drives Deployment.Validate directly over a
+// layout an epoch would have produced had it skipped validation: the same
+// invariant guards both paths.
+func TestValidateAfterBreakingEpoch(t *testing.T) {
+	d := epochTestDeployment(t)
+	d.Positions[0] = geom.Point{X: d.Positions[1].X + 0.1, Y: d.Positions[1].Y}
+	if err := d.Validate(false); err == nil || !strings.Contains(err.Error(), "near-field") {
+		t.Fatalf("Validate = %v, want near-field violation", err)
+	}
+}
+
+func TestCommitEpochInvalidatesCaches(t *testing.T) {
+	d := epochTestDeployment(t)
+	strong0, approx0, weak0 := d.StrongGraph(), d.ApproxGraph(), d.WeakGraph()
+	lambda0 := d.Lambda()
+	// Caching satellite: repeated calls return the identical induced graph.
+	if d.StrongGraph() != strong0 || d.ApproxGraph() != approx0 || d.WeakGraph() != weak0 {
+		t.Fatal("derived graphs are re-induced per call")
+	}
+	d.RemoveNode(3)
+	if _, err := d.CommitEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if d.StrongGraph() == strong0 || d.ApproxGraph() == approx0 || d.WeakGraph() == weak0 {
+		t.Fatal("CommitEpoch kept a stale derived graph")
+	}
+	if got := d.StrongGraph().NumNodes(); got != 15 {
+		t.Fatalf("post-epoch strong graph has %d nodes, want 15", got)
+	}
+	// Λ changes when the minimum spacing changes.
+	d.MoveNode(0, geom.Point{X: d.Positions[0].X + 0.9, Y: d.Positions[0].Y})
+	if _, err := d.CommitEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Lambda() == lambda0 {
+		t.Fatal("CommitEpoch kept a stale Λ")
+	}
+}
+
+func TestDeploymentClone(t *testing.T) {
+	d := epochTestDeployment(t)
+	c := d.Clone()
+	c.MoveNode(0, geom.Point{X: d.Positions[0].X + 0.5, Y: d.Positions[0].Y + 0.5})
+	if _, err := c.CommitEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Positions[0] == c.Positions[0] {
+		t.Fatal("epoch on the clone leaked into the base deployment")
+	}
+	if d.Epochs() != 0 || c.Epochs() != 1 {
+		t.Fatalf("epoch counters: base %d, clone %d", d.Epochs(), c.Epochs())
+	}
+}

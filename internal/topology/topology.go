@@ -7,6 +7,12 @@
 //
 // Every deployment carries its SINR parameters; nodes are always at least
 // unit distance apart (the paper's near-field normalisation).
+//
+// Deployments are dynamic: the epoch API (epoch.go) batches node
+// additions, removals and moves into atomically committed epochs that
+// preserve the unit-distance invariant, invalidate the cached derived
+// quantities and emit sinr.EpochDelta values downstream evaluators and
+// engines apply incrementally.
 package topology
 
 import (
@@ -21,11 +27,17 @@ import (
 )
 
 // Deployment is a set of node positions with the physical-layer parameters
-// they are intended to be simulated under. Positions and Params are
-// immutable once the deployment is built; derived quantities that are
-// expensive to induce (the strong graph, Λ) are computed once and cached,
-// which lets many concurrent trials share one deployment without repaying
-// the induction per trial.
+// they are intended to be simulated under. Derived quantities that are
+// expensive to induce (the strong, approximation and weak graphs, Λ) are
+// computed once and cached, which lets many concurrent trials share one
+// deployment without repaying the induction per trial.
+//
+// Positions are immutable except through the epoch API (epoch.go): AddNode,
+// RemoveNode and MoveNode batch mutations that CommitEpoch applies
+// atomically, revalidating the unit-distance invariant and invalidating
+// every cached derived quantity. Committing an epoch must not race with
+// concurrent readers of the deployment; between epochs concurrent use stays
+// safe.
 type Deployment struct {
 	// Name identifies the generator and parameters for reports.
 	Name string
@@ -34,10 +46,18 @@ type Deployment struct {
 	// Params are the SINR parameters for this deployment.
 	Params sinr.Params
 
-	strongOnce sync.Once
-	strong     *graphs.Graph
-	lambdaOnce sync.Once
-	lambda     float64
+	// cacheMu guards the lazily induced derived quantities below. A plain
+	// mutex (rather than per-field sync.Once) lets CommitEpoch drop every
+	// cache in one critical section when the positions change.
+	cacheMu  sync.Mutex
+	strong   *graphs.Graph
+	approx   *graphs.Graph
+	weak     *graphs.Graph
+	lambda   float64
+	lambdaOK bool
+
+	pending []epochOp
+	epochs  int
 }
 
 // NumNodes returns the number of nodes in the deployment.
@@ -48,25 +68,49 @@ func (d *Deployment) NumNodes() int { return len(d.Positions) }
 // of a shared deployment from many concurrent trials — so callers must
 // treat the returned graph as read-only. It is safe for concurrent use.
 func (d *Deployment) StrongGraph() *graphs.Graph {
-	d.strongOnce.Do(func() { d.strong = graphs.Strong(d.Params, d.Positions) })
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	if d.strong == nil {
+		d.strong = graphs.Strong(d.Params, d.Positions)
+	}
 	return d.strong
 }
 
-// ApproxGraph returns G_{1-2ε} for the deployment.
+// ApproxGraph returns G_{1-2ε} for the deployment. Like StrongGraph it is
+// induced on first use and cached (concurrent trials sharing one deployment
+// used to repay the O(n²) induction per call), so callers must treat the
+// returned graph as read-only. It is safe for concurrent use.
 func (d *Deployment) ApproxGraph() *graphs.Graph {
-	return graphs.Approx(d.Params, d.Positions)
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	if d.approx == nil {
+		d.approx = graphs.Approx(d.Params, d.Positions)
+	}
+	return d.approx
 }
 
-// WeakGraph returns G₁ for the deployment.
+// WeakGraph returns G₁ for the deployment, induced on first use and cached
+// exactly like StrongGraph and ApproxGraph; the returned graph is read-only
+// and safe for concurrent use.
 func (d *Deployment) WeakGraph() *graphs.Graph {
-	return graphs.Weak(d.Params, d.Positions)
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	if d.weak == nil {
+		d.weak = graphs.Weak(d.Params, d.Positions)
+	}
+	return d.weak
 }
 
 // Lambda returns Λ = R_{1-ε}/dmin for the deployment, computed once and
 // cached (the minimum pairwise distance scan is quadratic for small
 // deployments). It is safe for concurrent use.
 func (d *Deployment) Lambda() float64 {
-	d.lambdaOnce.Do(func() { d.lambda = sinr.Lambda(d.Params, d.Positions) })
+	d.cacheMu.Lock()
+	defer d.cacheMu.Unlock()
+	if !d.lambdaOK {
+		d.lambda = sinr.Lambda(d.Params, d.Positions)
+		d.lambdaOK = true
+	}
 	return d.lambda
 }
 
