@@ -80,6 +80,56 @@ func TestCompareReportsMissingBaselineCase(t *testing.T) {
 	}
 }
 
+// TestCheckStepCrossover pins the within-run crossover gate: at n ≥ 5000
+// the adaptive parallel driver may not lose to the sequential driver beyond
+// the tolerance, while pinned cases and small deployments are exempt.
+func TestCheckStepCrossover(t *testing.T) {
+	mk := func(parNs float64, pinned bool, n int) []stepCase {
+		return []stepCase{
+			{Name: "engine_step_5k", Nodes: n, NsPerOp: 1000},
+			{Name: "engine_step_parallel_5k", Nodes: n, Parallel: true, Pinned: pinned, NsPerOp: parNs},
+		}
+	}
+	if err := checkStepCrossover(mk(1100, false, 5000)); err != nil {
+		t.Fatalf("adaptive within tolerance failed the gate: %v", err)
+	}
+	if err := checkStepCrossover(mk(1300, false, 5000)); err == nil {
+		t.Fatal("adaptive 1.3x slower than sequential passed the gate")
+	} else if !strings.Contains(err.Error(), "engine_step_parallel_5k") {
+		t.Fatalf("gate error does not name the losing case: %v", err)
+	}
+	if err := checkStepCrossover(mk(5000, true, 5000)); err != nil {
+		t.Fatalf("pinned case is not exempt from the gate: %v", err)
+	}
+	if err := checkStepCrossover(mk(5000, false, 2000)); err != nil {
+		t.Fatalf("small deployment is not exempt from the gate: %v", err)
+	}
+	// No sequential reference at the size: nothing to compare against.
+	if err := checkStepCrossover([]stepCase{
+		{Name: "engine_step_parallel_5k", Nodes: 5000, Parallel: true, NsPerOp: 9999},
+	}); err != nil {
+		t.Fatalf("missing sequential reference failed the gate: %v", err)
+	}
+}
+
+// TestGateCasesKernelFamily: kernel cases carry their speedup into the
+// -compare gate like every other family.
+func TestGateCasesKernelFamily(t *testing.T) {
+	path := writeBaseline(t, benchReport{
+		KernelCases: []kernelCase{{Name: "kernel_pathloss_a3", SpeedupVsPow: 4}},
+	})
+	fresh := benchReport{
+		KernelCases: []kernelCase{{Name: "kernel_pathloss_a3", SpeedupVsPow: 1.5}},
+	}
+	if err := compareReports(path, fresh); err == nil || !strings.Contains(err.Error(), "fast-vs-pow") {
+		t.Fatalf("kernel speedup collapse passed the gate: %v", err)
+	}
+	fresh.KernelCases[0].SpeedupVsPow = 3
+	if err := compareReports(path, fresh); err != nil {
+		t.Fatalf("kernel speedup within tolerance failed the gate: %v", err)
+	}
+}
+
 func TestCompareReportsRegressions(t *testing.T) {
 	path := writeBaseline(t, baseReport())
 	fresh := baseReport()

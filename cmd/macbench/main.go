@@ -25,7 +25,20 @@
 //     rebuilding it from scratch, in both cache regimes (the apply path is
 //     expected to stay allocation-free);
 //   - a steady-state sim.Engine.Step over pooled frames (ns/op and
-//     allocs/op, the latter expected to be zero).
+//     allocs/op, the latter expected to be zero): the sequential driver and
+//     the adaptive serial/parallel crossover at n = 2000 and n = 5000, plus
+//     the fused session driver pinned on so its machinery is measured even
+//     where the crossover would decline it;
+//   - the pow-free path-loss kernel (sinr.Params.ReceivedPower with its
+//     integer-α multiplication fast paths plus the Sqrt distance) against
+//     the pre-rewrite math.Pow+math.Hypot arithmetic, per fast-pathed
+//     exponent.
+//
+// Two gates run on the fresh measurements themselves, independent of any
+// baseline: at n ≥ 5000 the adaptive engine-step driver must not be slower
+// than the sequential driver beyond stepCrossoverTolerance (the crossover
+// exists precisely to make "Parallel: true" safe to enable), and each
+// integer-α path-loss kernel must beat the math.Pow reference.
 //
 // With -compare FILE the fresh measurements are additionally checked
 // against a previously committed report on machine-invariant quantities:
@@ -267,10 +280,31 @@ type stepCase struct {
 	// Nodes is the deployment size; TxPerSlot the mean transmitter count.
 	Nodes     int     `json:"nodes"`
 	TxPerSlot float64 `json:"tx_per_slot"`
-	// Parallel reports whether the worker-pool driver was used.
+	// Parallel reports whether the worker-pool driver was enabled; Pinned
+	// whether the fused parallel driver was forced past the measured
+	// crossover (sim.Config.PinDriver).
 	Parallel    bool    `json:"parallel"`
+	Pinned      bool    `json:"pinned,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// kernelCase is one path-loss kernel measurement: the pow-free arithmetic
+// (integer-α multiplication plus Sqrt distance) against the pre-rewrite
+// math.Pow + math.Hypot composition over the same point pairs. The two are
+// bit-identical in result (pinned by the differential tests in
+// internal/sinr), so the ratio is pure arithmetic cost.
+type kernelCase struct {
+	Name  string  `json:"name"`
+	Alpha float64 `json:"alpha"`
+	// Pairs is how many receiver pairs each op evaluates.
+	Pairs int `json:"pairs"`
+	// Pow and Fast are the per-op cost of the math.Pow+Hypot reference and
+	// the shipped ReceivedPower(Dist) composition.
+	PowNsPerOp  float64 `json:"pow_ns_per_op"`
+	FastNsPerOp float64 `json:"fast_ns_per_op"`
+	// SpeedupVsPow is PowNsPerOp / FastNsPerOp.
+	SpeedupVsPow float64 `json:"speedup_vs_pow"`
 }
 
 // benchReport is the top-level BENCH_macbench.json document.
@@ -282,6 +316,7 @@ type benchReport struct {
 	BoundsCases []boundsCase `json:"bounds_cases"`
 	ChurnCases  []churnCase  `json:"churn_cases"`
 	StepCases   []stepCase   `json:"step_cases"`
+	KernelCases []kernelCase `json:"kernel_cases,omitempty"`
 }
 
 // benchFile is where runJSONBench writes its report by default.
@@ -295,6 +330,20 @@ const benchFile = "BENCH_macbench.json"
 // generous on purpose — the check has to survive workload-shape variance
 // across hosts and only catch order-of-magnitude breakage.
 const compareTolerance = 2.0
+
+// stepCrossoverMinNodes and stepCrossoverTolerance define the within-run
+// engine-step crossover gate: at deployments of at least this size, the
+// adaptive (Parallel, unpinned) driver must not be slower than the
+// sequential driver by more than the tolerance. The adaptive driver times
+// both drivers and picks the cheaper one, so — modulo its 16-slot probe
+// overhead per 8192-slot window and benchmark noise — it can only lose by a
+// sliver; a larger loss means the crossover machinery itself broke. Pinned
+// cases are exempt: they exist to measure the fused session driver even
+// where the crossover would correctly decline it.
+const (
+	stepCrossoverMinNodes  = 5000
+	stepCrossoverTolerance = 1.2
+)
 
 // benchSlot measures one evaluator configuration over a fixed transmitter
 // set, warming the evaluator first so caches behave as in a running
@@ -505,23 +554,54 @@ func runJSONBench(seed uint64, outPath, comparePath, summaryPath string) int {
 
 	// Steady-state Engine.Step over pooled frames: the whole pipeline —
 	// tick, sparse evaluation, deliveries — with its allocation count,
-	// which must stay at zero.
+	// which must stay at zero. The serial/adaptive pairs at n = 2000 and
+	// n = 5000 measure what a simulation actually gets from Parallel: true
+	// (the crossover settles on whichever driver measured cheaper); the
+	// pinned case forces the fused session driver so its cost is tracked
+	// even on hosts where the crossover declines it.
 	for _, sc := range []struct {
-		name     string
-		parallel bool
-		workers  int
+		name    string
+		n       int
+		workers int // 0 = GOMAXPROCS
+		par     bool
+		pin     bool
 	}{
-		{"engine_step", false, 1},
-		{"engine_step_parallel", true, 4},
+		{"engine_step", 2000, 1, false, false},
+		{"engine_step_parallel", 2000, 0, true, false},
+		{"engine_step_5k", 5000, 1, false, false},
+		{"engine_step_parallel_5k", 5000, 0, true, false},
+		{"engine_step_fused4", 2000, 4, true, true},
 	} {
-		c, err := benchEngineStep(sc.name, seed, sc.parallel, sc.workers)
+		c, err := benchEngineStep(sc.name, seed, sc.n, sim.Config{
+			Seed: seed, Parallel: sc.par, Workers: sc.workers, PinDriver: sc.pin,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
 			return 1
 		}
 		report.StepCases = append(report.StepCases, c)
-		fmt.Printf("%-20s n=%-5d k=%-6.1f %12.0f ns/op (%d allocs)\n",
+		fmt.Printf("%-23s n=%-5d k=%-6.1f %12.0f ns/op (%d allocs)\n",
 			c.Name, c.Nodes, c.TxPerSlot, c.NsPerOp, c.AllocsPerOp)
+	}
+	if err := checkStepCrossover(report.StepCases); err != nil {
+		fmt.Fprintf(os.Stderr, "macbench: engine-step crossover gate failed:\n%v\n", err)
+		return 1
+	}
+
+	// Pow-free path-loss kernel vs the pre-rewrite math.Pow + math.Hypot
+	// arithmetic, per fast-pathed exponent. The α = 2 entry is only
+	// reachable through Params directly (channel validation requires
+	// α > 2) but pins the cheapest fast path.
+	for _, alpha := range []float64{2, 3, 4} {
+		c := benchKernelPathLoss(alpha, seed)
+		report.KernelCases = append(report.KernelCases, c)
+		fmt.Printf("%-23s α=%-3.0f pairs=%-5d pow %6.0f ns/op  fast %6.0f ns/op  speedup %.1fx\n",
+			c.Name, c.Alpha, c.Pairs, c.PowNsPerOp, c.FastNsPerOp, c.SpeedupVsPow)
+		if c.SpeedupVsPow < 1 {
+			fmt.Fprintf(os.Stderr, "macbench: %s: pow-free kernel is slower than math.Pow (%.2fx)\n",
+				c.Name, c.SpeedupVsPow)
+			return 1
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -574,6 +654,9 @@ func writeSummary(path, baselinePath string, fresh benchReport) error {
 				for _, c := range base.ChurnCases {
 					baseline[c.Name] = c.SpeedupVsRebuild
 				}
+				for _, c := range base.KernelCases {
+					baseline[c.Name] = c.SpeedupVsPow
+				}
 			}
 		}
 	}
@@ -608,6 +691,10 @@ func writeSummary(path, baselinePath string, fresh benchReport) error {
 		fmt.Fprintf(&b, "| %s | %d | %.1f | %.0f | %d | — | — | — |\n",
 			c.Name, c.Nodes, c.TxPerSlot, c.NsPerOp, c.AllocsPerOp)
 	}
+	for _, c := range fresh.KernelCases {
+		fmt.Fprintf(&b, "| %s (fast vs pow) | — | %d | %.0f | 0 | %.1fx | %s |\n",
+			c.Name, c.Pairs, c.FastNsPerOp, c.SpeedupVsPow, ratioCell(c.Name, c.SpeedupVsPow))
+	}
 	fmt.Fprintf(&b, "\nRegression gate: speedup ratios may shrink at most %.1fx vs the committed baseline; optimised paths may not allocate more than it.\n", compareTolerance)
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -639,10 +726,12 @@ func (n *stepBenchNode) Tick(slot int64, f *sim.Frame) bool {
 
 func (n *stepBenchNode) Receive(slot int64, f *sim.Frame) {}
 
-// benchEngineStep measures a steady-state Engine.Step on a 2000-node sparse
-// workload (≈√n transmitters per slot) over the fast evaluator.
-func benchEngineStep(name string, seed uint64, parallel bool, workers int) (stepCase, error) {
-	const n = 2000
+// benchEngineStep measures a steady-state Engine.Step on an n-node sparse
+// workload (≈√n transmitters per slot) over the fast evaluator, under the
+// driver configuration in cfg. The warm-up runs past the adaptive
+// crossover's first probe window so the measured steady state is the driver
+// the engine settled on, not the probe schedule.
+func benchEngineStep(name string, seed uint64, n int, cfg sim.Config) (stepCase, error) {
 	ch, _, err := sinr.SparseBenchWorkload(n, seed)
 	if err != nil {
 		return stepCase{}, err
@@ -655,13 +744,12 @@ func benchEngineStep(name string, seed uint64, parallel bool, workers int) (step
 	}
 	fast := sinr.NewFastChannel(ch)
 	defer fast.Close()
-	eng, err := sim.NewEngine(ch, nodes, sim.Config{
-		Seed: seed, Parallel: parallel, Workers: workers, Evaluator: fast,
-	})
+	cfg.Evaluator = fast
+	eng, err := sim.NewEngine(ch, nodes, cfg)
 	if err != nil {
 		return stepCase{}, err
 	}
-	eng.Run(50, nil) // warm the pool, scratch and candidate buffers
+	eng.Run(64, nil) // warm pool and buffers; complete the probe window
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -672,10 +760,104 @@ func benchEngineStep(name string, seed uint64, parallel bool, workers int) (step
 		Name:        name,
 		Nodes:       n,
 		TxPerSlot:   txPerSlot,
-		Parallel:    parallel,
+		Parallel:    cfg.Parallel,
+		Pinned:      cfg.PinDriver,
 		NsPerOp:     float64(res.NsPerOp()),
 		AllocsPerOp: res.AllocsPerOp(),
 	}, nil
+}
+
+// kernelSink defeats dead-code elimination of the benchmark loops below.
+var kernelSink float64
+
+// benchKernelPathLoss measures the path-loss arithmetic over a fixed set of
+// random point pairs: the pre-rewrite composition (math.Hypot distance,
+// math.Pow loss) against the shipped one (Sqrt distance, integer-α
+// multiplication in Params.ReceivedPower). Both sides run the identical
+// loop shape over identical pairs, so the ratio isolates the arithmetic.
+func benchKernelPathLoss(alpha float64, seed uint64) kernelCase {
+	const pairs = 4096
+	params := sinr.Params{Alpha: alpha, Beta: 1.5, Noise: 1e-9, Power: 1, Epsilon: 0.1}
+	src := rng.New(seed)
+	ax := make([]float64, pairs)
+	ay := make([]float64, pairs)
+	bx := make([]float64, pairs)
+	by := make([]float64, pairs)
+	for i := 0; i < pairs; i++ {
+		ax[i] = src.Float64() * 200
+		ay[i] = src.Float64() * 200
+		bx[i] = src.Float64() * 200
+		by[i] = src.Float64() * 200
+	}
+	powRes := testing.Benchmark(func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < pairs; j++ {
+				d := math.Hypot(ax[j]-bx[j], ay[j]-by[j])
+				if d < 1 {
+					d = 1
+				}
+				s += params.Power / math.Pow(d, params.Alpha)
+			}
+		}
+		kernelSink = s
+	})
+	fastRes := testing.Benchmark(func(b *testing.B) {
+		var s float64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < pairs; j++ {
+				dx := ax[j] - bx[j]
+				dy := ay[j] - by[j]
+				s += params.ReceivedPower(math.Sqrt(dx*dx + dy*dy))
+			}
+		}
+		kernelSink = s
+	})
+	c := kernelCase{
+		Name:        fmt.Sprintf("kernel_pathloss_a%.0f", alpha),
+		Alpha:       alpha,
+		Pairs:       pairs,
+		PowNsPerOp:  float64(powRes.NsPerOp()),
+		FastNsPerOp: float64(fastRes.NsPerOp()),
+	}
+	if c.FastNsPerOp > 0 {
+		c.SpeedupVsPow = c.PowNsPerOp / c.FastNsPerOp
+	}
+	return c
+}
+
+// checkStepCrossover enforces the engine-step crossover gate on the fresh
+// measurements: for every deployment size of at least stepCrossoverMinNodes
+// that has both a sequential case and an adaptive (unpinned parallel) case,
+// the adaptive driver must not exceed the sequential cost by more than
+// stepCrossoverTolerance. This is the user-facing contract of the adaptive
+// driver — enabling Parallel never costs more than a sliver, on any host.
+func checkStepCrossover(cases []stepCase) error {
+	serialByN := make(map[int]stepCase)
+	for _, c := range cases {
+		if !c.Parallel {
+			serialByN[c.Nodes] = c
+		}
+	}
+	var problems []string
+	for _, c := range cases {
+		if !c.Parallel || c.Pinned || c.Nodes < stepCrossoverMinNodes {
+			continue
+		}
+		ref, ok := serialByN[c.Nodes]
+		if !ok || ref.NsPerOp <= 0 {
+			continue
+		}
+		if c.NsPerOp > ref.NsPerOp*stepCrossoverTolerance {
+			problems = append(problems, fmt.Sprintf(
+				"  %s: adaptive driver %.0f ns/op vs sequential %s %.0f ns/op exceeds %.1fx",
+				c.Name, c.NsPerOp, ref.Name, ref.NsPerOp, stepCrossoverTolerance))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s", strings.Join(problems, "\n"))
+	}
+	return nil
 }
 
 // compareReports checks the fresh measurements against a committed
@@ -763,6 +945,9 @@ func gateCases(r benchReport) []gateCase {
 	}
 	for _, c := range r.StepCases {
 		out = append(out, gateCase{"step", c.Name, "", 0, "", c.AllocsPerOp})
+	}
+	for _, c := range r.KernelCases {
+		out = append(out, gateCase{"kernel", c.Name, "fast-vs-pow", c.SpeedupVsPow, "", 0})
 	}
 	return out
 }

@@ -82,9 +82,21 @@
 // retain payload data must copy it — the spec recorder and checker are
 // unaffected because they only see copied core.Event values), and frame
 // fields are not cleared between slots, so receivers read only the fields
-// their Kind defines. The parallel driver's tick and receive phases run on
-// the evaluator's persistent worker pool, and TestEngineStepAllocFree
-// asserts zero allocations per steady-state Engine.Step on both drivers.
+// their Kind defines. The parallel driver runs tick, evaluation and
+// receive inside one fused worker-pool session (internal/workpool
+// Begin/End): helpers are woken once per slot and advance through the
+// phases on an atomic phase generation, chunk widths are sized from
+// EWMA-measured per-node phase costs, and a periodically recalibrated
+// serial-vs-parallel probe picks whichever driver measures cheaper on the
+// running workload (sim.Config.PinDriver bypasses the crossover;
+// sim.Engine.DriverStats exposes the measurements). Both drivers produce
+// bit-identical executions, and TestEngineStepAllocFree asserts zero
+// allocations per steady-state Engine.Step on all of them.
+//
+// Path-loss arithmetic is pow-free on the hot paths: integer exponents
+// α ∈ {2, 3, 4} evaluate by multiplication, bit-identical to math.Pow
+// (internal/sinr's kernel differential tests pin this), and sparse/bounds
+// threshold comparisons stay in the squared-distance domain.
 //
 // # Dynamic deployments
 //
@@ -150,9 +162,13 @@
 // figure via `go test -bench=.` and compares the two evaluators at
 // n = 1k/5k/10k via BenchmarkSlotReceptions. cmd/macbench -json writes the
 // slot-pipeline measurements — naive vs fast, sparse vs dense at |tx| = √n,
-// bounds vs dense at |tx| ∈ {n/4, n} with the per-case refine rate, and
-// steady-state Engine.Step ns/op and allocs/op — to BENCH_macbench.json
-// for cross-PR tracking, and cmd/macbench -json -compare FILE fails on
+// bounds vs dense at |tx| ∈ {n/4, n} with the per-case refine rate,
+// steady-state Engine.Step ns/op and allocs/op under the sequential,
+// adaptive and pinned-fused drivers at n ∈ {2000, 5000}, and the pow-free
+// path-loss kernel vs math.Pow — to BENCH_macbench.json for cross-PR
+// tracking, gates within the run that the adaptive driver never loses to
+// the sequential one beyond 1.2× at n ≥ 5000, and cmd/macbench -json
+// -compare FILE fails on
 // gross (beyond 2×) regressions against a committed baseline; CI runs that
 // gate on every push, renders the per-case table into the job summary and
 // uploads the fresh report as an artifact. cmd/macbench -cpuprofile and

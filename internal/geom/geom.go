@@ -19,11 +19,21 @@ type Point struct {
 	X, Y float64
 }
 
-// Dist returns the Euclidean distance between p and q.
+// Dist returns the Euclidean distance between p and q, computed as
+// Sqrt(DistSq(p, q)).
+//
+// The composition through the squared distance is deliberate: Sqrt is a
+// single hardware instruction where math.Hypot is a library call with
+// branches and scaling, and every distance-derived quantity in the
+// simulator (range queries, received powers, threshold comparisons) is
+// then one monotone rounding away from the same squared-domain value, so
+// d(p,q) < r exactly when DistSq(p,q) < r·r up to the documented grid
+// slack. Deployment coordinates are bounded (no risk of dx² overflowing),
+// which is the one case Hypot exists to handle.
 func (p Point) Dist(q Point) float64 {
 	dx := p.X - q.X
 	dy := p.Y - q.Y
-	return math.Hypot(dx, dy)
+	return math.Sqrt(dx*dx + dy*dy)
 }
 
 // DistSq returns the squared Euclidean distance between p and q. It avoids
@@ -134,35 +144,39 @@ func MinPairwiseDist(points []Point) float64 {
 	for i, p := range points {
 		g.Insert(i, p)
 	}
-	best := math.Inf(1)
+	// Compare in the squared domain and take one root at the end: Sqrt is
+	// monotone (x ≤ y ⟹ Sqrt(x) ≤ Sqrt(y) after rounding), so the minimum
+	// commutes with the root and the result is bit-identical to minimising
+	// Dist directly.
+	bestSq := math.Inf(1)
 	for i, p := range points {
 		for _, j := range g.Neighborhood(p, cell) {
 			if j == i {
 				continue
 			}
-			if d := p.Dist(points[j]); d < best {
-				best = d
+			if d2 := p.DistSq(points[j]); d2 < bestSq {
+				bestSq = d2
 			}
 		}
 	}
 	// The grid only inspects adjacent cells; if nothing was found there the
 	// points are sparse relative to the cell size and we must fall back.
-	if math.IsInf(best, 1) {
+	if math.IsInf(bestSq, 1) {
 		return minPairwiseBrute(points)
 	}
-	return best
+	return math.Sqrt(bestSq)
 }
 
 func minPairwiseBrute(points []Point) float64 {
-	best := math.Inf(1)
+	bestSq := math.Inf(1)
 	for i := range points {
 		for j := i + 1; j < len(points); j++ {
-			if d := points[i].Dist(points[j]); d < best {
-				best = d
+			if d2 := points[i].DistSq(points[j]); d2 < bestSq {
+				bestSq = d2
 			}
 		}
 	}
-	return best
+	return math.Sqrt(bestSq)
 }
 
 // MaxPairwiseDist returns the largest distance between two points, or 0
@@ -290,19 +304,23 @@ func (g *Grid) removeFromCell(k cellKey, id int) {
 }
 
 // Neighborhood returns the ids of all points within radius r of p
-// (inclusive). The result is sorted for determinism.
+// (inclusive). The result is sorted for determinism. Membership is decided
+// in the squared domain (DistSq ≤ r²), the same predicate AnyWithin and
+// AppendWithin evaluate, so every grid query in the package agrees on
+// borderline points without ever taking a root.
 func (g *Grid) Neighborhood(p Point, r float64) []int {
 	if r < 0 {
 		return nil
 	}
 	span := int(math.Ceil(r/g.cell)) + 1
 	center := g.keyFor(p)
+	rr := r * r
 	var out []int
 	for dx := -span; dx <= span; dx++ {
 		for dy := -span; dy <= span; dy++ {
 			k := cellKey{cx: center.cx + dx, cy: center.cy + dy}
 			for _, id := range g.cells[k] {
-				if g.pts[id].Dist(p) <= r {
+				if g.pts[id].DistSq(p) <= rr {
 					out = append(out, id)
 				}
 			}

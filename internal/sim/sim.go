@@ -15,6 +15,26 @@
 // worker-pool parallel driver; both produce identical executions for
 // well-behaved (share-nothing) nodes.
 //
+// # Parallel driver
+//
+// The parallel driver runs the whole slot — tick, evaluation, receive —
+// inside one fused workpool session: the pool's helpers are woken at most
+// once per slot and the phase hand-offs in between are spin-then-park
+// barriers instead of full park/unpark round trips. Phase chunking is
+// sized from measured per-node cost (an EWMA taken during calibration
+// slots): a phase is split only into chunks predicted to cost at least a
+// documented minimum, so cheap phases run inline instead of paying wake
+// overhead for sub-microsecond chunks.
+//
+// Because both drivers produce bit-identical executions, the engine is
+// free to choose between them on measured wall-clock alone: with
+// Config.Parallel set (and PinDriver unset) it periodically times a few
+// slots under each driver and runs the cheaper one until the next
+// calibration window. On a machine where parallelism cannot win — one
+// core, tiny deployments — the engine settles on the sequential loop;
+// where it wins, it settles on the fused parallel driver. DriverStats
+// exposes the measurements and the current choice.
+//
 // # Frame lifecycle
 //
 // The steady-state slot path allocates nothing. The engine owns a pool of
@@ -41,6 +61,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"sinrmac/internal/rng"
 	"sinrmac/internal/sinr"
@@ -114,10 +135,19 @@ type Config struct {
 	// Seed seeds the per-node random sources. Identical seeds and nodes
 	// reproduce identical executions.
 	Seed uint64
-	// Parallel selects the worker-pool driver for the tick and receive
-	// phases. The execution is identical to the sequential driver; only
-	// wall-clock time differs.
+	// Parallel enables the worker-pool driver, which runs the tick,
+	// evaluation and receive phases of each slot inside one fused workpool
+	// session. The execution is identical to the sequential driver; only
+	// wall-clock time differs. Because of that, the engine does not take
+	// Parallel on faith: it periodically times a few slots under each
+	// driver and falls back to the sequential loop whenever the parallel
+	// driver does not pay on the current machine and deployment.
 	Parallel bool
+	// PinDriver disables the measured serial/parallel crossover: the
+	// driver selected by Parallel runs unconditionally and no calibration
+	// slots are timed. Benchmarks and tests pin the driver they mean to
+	// exercise; simulations keep the adaptive default.
+	PinDriver bool
 	// Workers bounds the number of pool workers used by the parallel
 	// driver and by a parallel channel evaluator. Zero means GOMAXPROCS.
 	// The count is resolved once at construction (and Reset), not per
@@ -176,6 +206,103 @@ type Engine struct {
 	tickSlot int64
 	rxSlot   int64
 	rxRec    []sinr.Reception
+
+	cal driverCal // serial/parallel crossover + phase-cost measurements
+}
+
+// Driver calibration constants. Every driverRecalPeriod slots the adaptive
+// driver times driverProbeSlots slots under the sequential loop and the
+// same number under the fused parallel driver, then runs whichever was
+// cheaper until the next window. The probes also feed the per-node phase
+// cost EWMA that sizes chunks: a phase is split only into chunks predicted
+// to cost at least minPhaseChunkNs, which keeps the per-chunk barrier and
+// wake overhead (single-digit microseconds at worst) a small fraction of
+// the chunk's work.
+const (
+	driverProbeSlots  = 8
+	driverRecalPeriod = 8192
+	minPhaseChunkNs   = 20000.0
+	phaseCostEWMA     = 0.25
+)
+
+// driverCal is the adaptive driver's measurement state.
+type driverCal struct {
+	pos            uint32  // slot position within the current recalibration period
+	useParallel    bool    // decision from the last probe window
+	decided        bool    // at least one probe window has completed
+	serialNs       float64 // accumulators for the current probe window
+	parallelNs     float64
+	serialSlotNs   float64 // mean per-slot ns from the last completed window
+	parallelSlotNs float64
+	calibrations   uint64
+	probing        bool    // current slot is a timed parallel probe
+	tickNsPerNode  float64 // EWMA per-node phase costs (parallel probes)
+	recvNsPerNode  float64
+}
+
+// DriverStats reports the adaptive driver's measurements: the per-slot
+// cost of each driver from the last calibration window, the per-node phase
+// cost EWMAs feeding the chunk-sizing model, the phase worker counts that
+// model currently yields, and which driver the next non-probe slot will
+// use. All times are in nanoseconds.
+type DriverStats struct {
+	// Parallel reports whether the next regular slot runs the parallel
+	// driver (true whenever the driver is pinned parallel).
+	Parallel bool
+	// Calibrations counts completed probe windows.
+	Calibrations uint64
+	// SerialSlotNs and ParallelSlotNs are the mean measured per-slot costs
+	// from the last completed probe window (zero before the first).
+	SerialSlotNs   float64
+	ParallelSlotNs float64
+	// TickNsPerNode and RecvNsPerNode are the EWMA per-node costs of the
+	// tick and receive phases measured during parallel probe slots.
+	TickNsPerNode float64
+	RecvNsPerNode float64
+	// TickWorkers and RecvWorkers are the phase worker counts the
+	// chunk-sizing model derives from those costs for the current
+	// deployment size.
+	TickWorkers int
+	RecvWorkers int
+}
+
+// DriverStats returns the adaptive driver's current measurements. It is
+// meaningful on engines configured with Parallel; on others it reports the
+// zero value with Parallel false.
+func (e *Engine) DriverStats() DriverStats {
+	c := &e.cal
+	par := e.cfg.Parallel && e.workers > 1 && (e.cfg.PinDriver || c.useParallel)
+	return DriverStats{
+		Parallel:       par,
+		Calibrations:   c.calibrations,
+		SerialSlotNs:   c.serialSlotNs,
+		ParallelSlotNs: c.parallelSlotNs,
+		TickNsPerNode:  c.tickNsPerNode,
+		RecvNsPerNode:  c.recvNsPerNode,
+		TickWorkers:    phaseWorkersFor(c.tickNsPerNode, len(e.nodes), e.workers),
+		RecvWorkers:    phaseWorkersFor(c.recvNsPerNode, len(e.nodes), e.workers),
+	}
+}
+
+// phaseWorkersFor sizes one parallel phase from its measured per-node cost:
+// the phase is split into at most max chunks, each predicted to cost at
+// least minPhaseChunkNs. An unmeasured phase (cost 0, before the first
+// parallel probe) uses every worker.
+func phaseWorkersFor(nsPerNode float64, n, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	if nsPerNode <= 0 {
+		return max
+	}
+	w := int(nsPerNode * float64(n) / minPhaseChunkNs)
+	if w < 1 {
+		w = 1
+	}
+	if w > max {
+		w = max
+	}
+	return w
 }
 
 // phaseTask adapts one engine phase to workpool.Task. The fn indirection
@@ -298,6 +425,7 @@ func (e *Engine) Reset(nodes []Node, seed uint64) error {
 		e.rxCounts = make([]int64, e.workers)
 	}
 	e.cfg.Seed = seed
+	e.cal = driverCal{}
 	e.epochs = 0
 	e.nextID = len(nodes)
 	master := rng.New(seed)
@@ -441,46 +569,150 @@ func (e *Engine) Evaluator() sinr.ChannelEvaluator { return e.evaluator }
 // and for layering higher-level protocols on top of MAC automata.
 func (e *Engine) Node(id int) Node { return e.nodes[id] }
 
-// Step simulates exactly one slot.
+// Step simulates exactly one slot. With Config.Parallel set and PinDriver
+// unset, the slot may be a timed calibration probe; the execution is
+// identical either way, only the driver (and the timing) differs.
 func (e *Engine) Step() {
-	slot := e.slot
-
-	// Phase 1: collect transmission decisions into the frame pool.
-	e.txScratch = e.txScratch[:0]
-	if e.cfg.Parallel {
-		e.tickSlot = slot
-		e.pool.Run(len(e.nodes), e.workers, &e.tickTask)
-		for i, sent := range e.sent {
-			if sent {
-				e.sent[i] = false
-				e.frames[i].From = i
-				e.txScratch = append(e.txScratch, i)
-			}
+	parallel, timed := e.driverForSlot()
+	if !timed {
+		if parallel {
+			e.stepParallel()
+		} else {
+			e.stepSerial()
 		}
+		return
+	}
+	e.cal.probing = parallel
+	start := time.Now()
+	if parallel {
+		e.stepParallel()
 	} else {
-		for i, n := range e.nodes {
-			if n.Tick(slot, &e.frames[i]) {
-				e.frames[i].From = i
-				e.txScratch = append(e.txScratch, i)
-			}
+		e.stepSerial()
+	}
+	elapsed := float64(time.Since(start))
+	e.cal.probing = false
+	if parallel {
+		e.cal.parallelNs += elapsed
+	} else {
+		e.cal.serialNs += elapsed
+	}
+}
+
+// driverForSlot decides which driver runs the next slot and whether the
+// slot is a timed calibration probe. The schedule within each
+// driverRecalPeriod-slot window is: driverProbeSlots timed serial slots,
+// driverProbeSlots timed parallel slots, then the cheaper driver untimed
+// for the rest of the window.
+func (e *Engine) driverForSlot() (parallel, timed bool) {
+	if !e.cfg.Parallel || e.workers <= 1 {
+		return false, false
+	}
+	if e.cfg.PinDriver {
+		return true, false
+	}
+	c := &e.cal
+	pos := c.pos
+	if c.pos++; c.pos >= driverRecalPeriod {
+		c.pos = 0
+	}
+	switch {
+	case pos == 0:
+		c.serialNs, c.parallelNs = 0, 0
+		return false, true
+	case pos < driverProbeSlots:
+		return false, true
+	case pos < 2*driverProbeSlots:
+		return true, true
+	case pos == 2*driverProbeSlots:
+		c.serialSlotNs = c.serialNs / driverProbeSlots
+		c.parallelSlotNs = c.parallelNs / driverProbeSlots
+		c.useParallel = c.parallelNs < c.serialNs
+		c.decided = true
+		c.calibrations++
+	}
+	return c.useParallel, false
+}
+
+// observePhaseCost folds one measured phase duration into the per-node
+// cost EWMA feeding the chunk-sizing model.
+func observePhaseCost(ewma *float64, elapsedNs float64, n int) {
+	if n <= 0 {
+		return
+	}
+	perNode := elapsedNs / float64(n)
+	if *ewma <= 0 {
+		*ewma = perNode
+		return
+	}
+	*ewma += phaseCostEWMA * (perNode - *ewma)
+}
+
+// stepSerial is the sequential driver: every phase runs inline on the
+// calling goroutine.
+func (e *Engine) stepSerial() {
+	slot := e.slot
+	e.txScratch = e.txScratch[:0]
+	for i, n := range e.nodes {
+		if n.Tick(slot, &e.frames[i]) {
+			e.frames[i].From = i
+			e.txScratch = append(e.txScratch, i)
+		}
+	}
+	receptions := e.evaluator.SlotReceptions(e.txScratch)
+	for i, rec := range receptions {
+		if rec.Sender >= 0 {
+			e.nodes[i].Receive(slot, &e.frames[rec.Sender])
+			e.stats.Receptions++
+		}
+	}
+	e.finishSlot(slot, receptions)
+}
+
+// stepParallel is the worker-pool driver: the whole slot runs inside one
+// fused workpool session, so the helpers are woken at most once and the
+// tick, evaluation-chunk and receive phases hand off through spin barriers.
+// A parallel evaluator sharing the engine's pool joins the session
+// transparently through Pool.Run; serial interludes (transmitter collection,
+// evaluator preparation) run on the leader while the helpers wait.
+func (e *Engine) stepParallel() {
+	slot := e.slot
+	n := len(e.nodes)
+	probing := e.cal.probing
+	e.pool.Begin(e.workers)
+
+	e.txScratch = e.txScratch[:0]
+	e.tickSlot = slot
+	var t0 time.Time
+	if probing {
+		t0 = time.Now()
+	}
+	e.pool.Run(n, phaseWorkersFor(e.cal.tickNsPerNode, n, e.workers), &e.tickTask)
+	if probing {
+		observePhaseCost(&e.cal.tickNsPerNode, float64(time.Since(t0)), n)
+	}
+	for i, sent := range e.sent {
+		if sent {
+			e.sent[i] = false
+			e.frames[i].From = i
+			e.txScratch = append(e.txScratch, i)
 		}
 	}
 
-	// Phase 2: channel evaluation.
 	receptions := e.evaluator.SlotReceptions(e.txScratch)
 
-	// Phase 3: deliveries.
-	if e.cfg.Parallel {
-		e.stats.Receptions += e.receiveParallel(slot, receptions)
-	} else {
-		for i, rec := range receptions {
-			if rec.Sender >= 0 {
-				e.nodes[i].Receive(slot, &e.frames[rec.Sender])
-				e.stats.Receptions++
-			}
-		}
+	if probing {
+		t0 = time.Now()
 	}
+	e.stats.Receptions += e.receiveParallel(slot, receptions)
+	if probing {
+		observePhaseCost(&e.cal.recvNsPerNode, float64(time.Since(t0)), n)
+	}
+	e.pool.End()
+	e.finishSlot(slot, receptions)
+}
 
+// finishSlot applies the per-slot bookkeeping shared by both drivers.
+func (e *Engine) finishSlot(slot int64, receptions []sinr.Reception) {
 	e.stats.Transmissions += int64(len(e.txScratch))
 	e.stats.Slots++
 	for _, o := range e.observers {
@@ -537,7 +769,7 @@ func (e *Engine) receiveParallel(slot int64, receptions []sinr.Reception) int64 
 		e.rxCounts[i] = 0
 	}
 	e.rxSlot, e.rxRec = slot, receptions
-	e.pool.Run(len(e.nodes), e.workers, &e.recvTask)
+	e.pool.Run(len(e.nodes), phaseWorkersFor(e.cal.recvNsPerNode, len(e.nodes), e.workers), &e.recvTask)
 	e.rxRec = nil
 	total := int64(0)
 	for _, c := range e.rxCounts {

@@ -624,11 +624,17 @@ func TestEngineStepAllocFree(t *testing.T) {
 		name     string
 		parallel bool
 		workers  int
+		pin      bool
 		p        float64 // per-slot transmit probability (sets tx density)
 	}{
-		{"sequential/dense", false, 1, 0.5},
-		{"sequential/sparse", false, 1, 0.02},
-		{"parallel/sparse", true, 4, 0.02},
+		{"sequential/dense", false, 1, false, 0.5},
+		{"sequential/sparse", false, 1, false, 0.02},
+		{"parallel/sparse", true, 4, false, 0.02},
+		// Pinned forces the fused session driver every slot regardless of
+		// what the crossover would decide, so the Begin/phase/End machinery
+		// itself is held to the zero-alloc budget.
+		{"parallel-pinned/sparse", true, 4, true, 0.02},
+		{"parallel-pinned/dense", true, 4, true, 0.5},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			src := rng.New(31)
@@ -647,7 +653,8 @@ func TestEngineStepAllocFree(t *testing.T) {
 				nodes[i] = &randomNode{p: tc.p}
 			}
 			eng, err := NewEngine(ch, nodes, Config{
-				Seed: 3, Parallel: tc.parallel, Workers: tc.workers, Evaluator: fast,
+				Seed: 3, Parallel: tc.parallel, Workers: tc.workers,
+				PinDriver: tc.pin, Evaluator: fast,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -405,7 +405,7 @@ func (f *FastChannel) boundsGridChunk(lo, hi, worker int) {
 			continue
 		}
 		evaluated++
-		p := f.pos[r]
+		rx, ry := f.px[r], f.py[r]
 		rc := bi.cells.CellOf(r)
 		exactNear := 0.0
 		best := -1
@@ -419,7 +419,7 @@ func (f *FastChannel) boundsGridChunk(lo, hi, worker int) {
 				if col := f.cols[s]; col != nil {
 					pw = col[r]
 				} else {
-					pw = f.ch.params.ReceivedPower(f.pos[s].Dist(p))
+					pw = f.pairPower(f.px[s], f.py[s], rx, ry)
 				}
 				exactNear += pw
 				if pw > bestPow {
@@ -454,7 +454,7 @@ func (f *FastChannel) boundsGridChunk(lo, hi, worker int) {
 			if col := f.cols[s]; col != nil {
 				pw = col[r]
 			} else {
-				pw = f.ch.params.ReceivedPower(f.pos[s].Dist(p))
+				pw = f.pairPower(f.px[s], f.py[s], rx, ry)
 			}
 			row[j] = pw
 			total += pw

@@ -216,8 +216,12 @@ func (f *FastChannel) ApplyEpoch(d *EpochDelta) error {
 	f.n = d.NewN
 
 	if float64(len(d.Dirty)+d.Removed) > ChurnRebuildFraction*float64(d.NewN) {
+		f.syncSoAPositions(nil)
 		f.rebuildAfterEpoch()
 	} else {
+		// Only the dirty slots changed position; the SoA mirror is patched
+		// before the index patches below read coordinates through it.
+		f.syncSoAPositions(d.Dirty)
 		f.patchAfterEpoch(d, oldN)
 	}
 	f.resizeChurnScratch()
@@ -241,10 +245,10 @@ func (f *FastChannel) patchAfterEpoch(d *EpochDelta, oldN int) {
 			f.mat, f.stride = grown, stride
 		}
 		for _, i := range d.Dirty {
-			pi := f.pos[i]
+			ix, iy := f.px[i], f.py[i]
 			ri := i * f.stride
 			for s := 0; s < n; s++ {
-				pw := f.ch.params.ReceivedPower(pi.Dist(f.pos[s]))
+				pw := f.pairPower(ix, iy, f.px[s], f.py[s])
 				f.mat[ri+s] = pw
 				f.mat[s*f.stride+i] = pw
 			}
@@ -325,9 +329,9 @@ func (f *FastChannel) rebuildAfterEpoch() {
 			f.mat = make([]float64, f.stride*f.stride)
 		}
 		for r := 0; r < n; r++ {
-			pr := f.pos[r]
+			rx, ry := f.px[r], f.py[r]
 			for s := r; s < n; s++ {
-				pw := f.ch.params.ReceivedPower(pr.Dist(f.pos[s]))
+				pw := f.pairPower(rx, ry, f.px[s], f.py[s])
 				f.mat[r*f.stride+s] = pw
 				f.mat[s*f.stride+r] = pw
 			}

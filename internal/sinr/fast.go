@@ -147,6 +147,21 @@ type FastChannel struct {
 	pos     []geom.Point
 	n       int
 	workers int
+
+	// SoA mirror of pos plus the hoisted path-loss constants: the pair
+	// loops read coordinates from two flat float64 slices (twice the
+	// density of a []Point per cache line, and indexable without the
+	// struct field loads) and dispatch the path-loss exponent once per
+	// evaluator instead of once per pair. pairPower is the fused kernel
+	// over this layout; it is bit-identical to
+	// params.ReceivedPower(Point.Dist) by construction (same subtraction,
+	// square, Sqrt, clamp and α-multiplication sequence), which
+	// TestPairPowerKernelBitIdentical pins. Churn epochs patch px/py in
+	// step with pos.
+	px, py []float64
+	power  float64
+	alpha  float64
+	alphaK int // 2, 3, 4 select the multiplication fast paths; 0 → math.Pow
 	// workersReq is the last requested (unclamped) worker count; ApplyEpoch
 	// re-resolves the clamp when the node count changes.
 	workersReq int
@@ -258,12 +273,16 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 		n:         n,
 		beta:      c.params.Beta,
 		noise:     c.params.Noise,
+		power:     c.params.Power,
+		alpha:     c.params.Alpha,
+		alphaK:    alphaCase(c.params.Alpha),
 		cullPower: c.params.Beta * c.params.Noise * (1 - cullSlack),
 		out:       make([]Reception, n),
 		isTx:      make([]bool, n),
 		mark:      make([]uint32, n),
 		pool:      workpool.New(),
 	}
+	f.syncSoAPositions(nil)
 	f.setWorkers(opt.Workers)
 	f.txPred = func(id int) bool { return f.isTx[id] }
 	f.sparseFactor = opt.SparseFactor
@@ -302,6 +321,80 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 	return f
 }
 
+// alphaCase maps a path-loss exponent to the multiplication fast path
+// pairPower and Params.ReceivedPower share: 2, 3 or 4 for the integer
+// exponents, 0 for the generic math.Pow fallback.
+func alphaCase(alpha float64) int {
+	switch alpha {
+	case 2:
+		return 2
+	case 3:
+		return 3
+	case 4:
+		return 4
+	}
+	return 0
+}
+
+// pairPower is the fused path-loss kernel over the SoA layout: the received
+// power at (bx, by) from a transmitter at (ax, ay). It evaluates exactly
+// the reference composition params.ReceivedPower(Point.Dist) — the same
+// coordinate subtractions, the same dx²+dy² and Sqrt, the same near-field
+// clamp, and the same α-specific multiplication sequence (ReceivedPower
+// documents why the multiplications are bit-identical to math.Pow) — with
+// the Params value copy, the method dispatch and the per-pair exponent
+// switch hoisted into evaluator fields, so the result is bit-identical to
+// the naive evaluator's on every input while the pair loops stay free of
+// calls and table loads.
+func (f *FastChannel) pairPower(ax, ay, bx, by float64) float64 {
+	dx := ax - bx
+	dy := ay - by
+	d := math.Sqrt(dx*dx + dy*dy)
+	if d < 1 {
+		d = 1
+	}
+	switch f.alphaK {
+	case 3:
+		return f.power / (d * d * d)
+	case 2:
+		return f.power / (d * d)
+	case 4:
+		dd := d * d
+		return f.power / (dd * dd)
+	}
+	return f.power / math.Pow(d, f.alpha)
+}
+
+// syncSoAPositions brings px/py in step with pos. With a nil dirty list the
+// whole mirror is rebuilt (construction, growth past capacity, churn
+// rebuilds); with a dirty list only the listed slots are rewritten, which
+// keeps the per-epoch cost proportional to the churn. Steady-state epochs
+// allocate nothing: capacity is retained across shrinks and regrows.
+func (f *FastChannel) syncSoAPositions(dirty []int) {
+	n := len(f.pos)
+	if dirty == nil || n > cap(f.px) {
+		if n > cap(f.px) {
+			f.px = make([]float64, n)
+			f.py = make([]float64, n)
+		} else {
+			f.px = f.px[:n]
+			f.py = f.py[:n]
+		}
+		for i, p := range f.pos {
+			f.px[i] = p.X
+			f.py[i] = p.Y
+		}
+		return
+	}
+	f.px = f.px[:n]
+	f.py = f.py[:n]
+	for _, id := range dirty {
+		p := f.pos[id]
+		f.px[id] = p.X
+		f.py[id] = p.Y
+	}
+}
+
 // updateCoverageModel derives logBallMiss — the per-ball miss probability of
 // the adaptive sparse crossover — from the current bounding box. Clamping
 // each box dimension to the ball diameter keeps the density estimate
@@ -337,6 +430,11 @@ func (f *FastChannel) Fork() *FastChannel {
 		ch:            f.ch,
 		pos:           f.pos,
 		n:             f.n,
+		px:            f.px,
+		py:            f.py,
+		power:         f.power,
+		alpha:         f.alpha,
+		alphaK:        f.alphaK,
 		workers:       f.workers,
 		workersReq:    f.workersReq,
 		beta:          f.beta,
@@ -388,9 +486,9 @@ func (f *FastChannel) ensureColumns(tx []int) {
 			continue
 		}
 		col := make([]float64, f.n)
-		ps := f.pos[s]
+		sx, sy := f.px[s], f.py[s]
 		for r := range col {
-			col[r] = f.ch.params.ReceivedPower(ps.Dist(f.pos[r]))
+			col[r] = f.pairPower(sx, sy, f.px[r], f.py[r])
 		}
 		f.cols[s] = col
 		f.colBudget--
@@ -641,17 +739,17 @@ func (f *FastChannel) gridChunk(lo, hi, worker int) {
 		if f.isTx[r] {
 			continue
 		}
-		p := f.pos[r]
-		if !f.grid.AnyWithin(p, f.cullRadius, f.txPred) {
+		if !f.grid.AnyWithin(f.pos[r], f.cullRadius, f.txPred) {
 			continue // far field: no transmitter can reach this receiver
 		}
+		rx, ry := f.px[r], f.py[r]
 		total := 0.0
 		for j, s := range tx {
 			var pw float64
 			if col := f.cols[s]; col != nil {
 				pw = col[r]
 			} else {
-				pw = f.ch.params.ReceivedPower(f.pos[s].Dist(p))
+				pw = f.pairPower(f.px[s], f.py[s], rx, ry)
 			}
 			row[j] = pw
 			total += pw
@@ -689,14 +787,14 @@ func (f *FastChannel) sparseGridChunk(lo, hi, worker int) {
 		if f.isTx[r] {
 			continue
 		}
-		p := f.pos[r]
+		rx, ry := f.px[r], f.py[r]
 		total := 0.0
 		for j, s := range tx {
 			var pw float64
 			if col := f.cols[s]; col != nil {
 				pw = col[r]
 			} else {
-				pw = f.ch.params.ReceivedPower(f.pos[s].Dist(p))
+				pw = f.pairPower(f.px[s], f.py[s], rx, ry)
 			}
 			row[j] = pw
 			total += pw

@@ -24,6 +24,21 @@
 // or fall back to it. The differential tests in this package hold every
 // path bit-identical to the reference.
 //
+// # Pow-free arithmetic
+//
+// The hot paths never call math.Pow or math.Hypot. Params.ReceivedPower
+// evaluates the integer path-loss exponents α ∈ {2, 3, 4} by plain
+// multiplication — bit-identical to math.Pow for those exponents (see the
+// doc of ReceivedPower for the argument, and TestReceivedPowerPowFree for
+// the pin) — and distances come from a fused Sqrt(dx²+dy²) over a
+// structure-of-arrays coordinate mirror (FastChannel.pairPower, pinned
+// bit-identical to the Point.Dist composition by
+// TestPairPowerKernelBitIdentical). Threshold comparisons in the sparse and
+// bounds tiers stay in the squared-distance domain (DistSq ≤ r², shared
+// with every geom grid query), which is exact because Sqrt is monotone and
+// correctly rounded; received powers themselves are always computed from
+// the rounded distance, never from its square, so no decision moves.
+//
 // Deployments may churn: committed topology epochs (sinr.EpochDelta) are
 // applied to live evaluators via ApplyEpoch — the naive channel swaps its
 // position slice, FastChannel patches its indices incrementally (see
@@ -117,9 +132,29 @@ func (p Params) ApproxRange() float64 {
 // ReceivedPower returns the power received over distance d, applying the
 // near-field clamp of the paper: distances below 1 are treated as 1 so that
 // a receiver never observes more power than was transmitted.
+//
+// Integer path-loss exponents take a multiplication fast path that is
+// bit-identical to math.Pow. math.Pow(d, k) for k ∈ {2, 3, 4} reduces (via
+// Frexp renormalisation, whose doublings are exact) to the same repeated
+// squaring sequence — d·d, (d·d)·d, (d·d)·(d·d) — with one IEEE rounding
+// per multiply, and floating-point rounding is scale-invariant, so the
+// products below reproduce Pow's result on every finite d ≥ 1, including
+// the overflow threshold (the intermediates are monotone in d). The
+// differential suite (TestReceivedPowerPowFree) pins this equality; the
+// exponent dispatch is three float compares, which the evaluators hoist
+// out of their pair loops entirely (FastChannel precomputes the case).
 func (p Params) ReceivedPower(d float64) float64 {
 	if d < 1 {
 		d = 1
+	}
+	switch p.Alpha {
+	case 2:
+		return p.Power / (d * d)
+	case 3:
+		return p.Power / (d * d * d)
+	case 4:
+		dd := d * d
+		return p.Power / (dd * dd)
 	}
 	return p.Power / math.Pow(d, p.Alpha)
 }

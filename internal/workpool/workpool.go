@@ -12,10 +12,25 @@
 // goroutine executing chunk 0 itself so a pool of k workers needs only k-1
 // helpers.
 //
+// A slot is not one parallel loop but a pipeline of them (tick, evaluate,
+// receive) separated by serial interludes on the caller. Paying a full
+// park/unpark per phase triples the handoff cost, so the pool also offers
+// fused sessions: between Begin and End the helpers are woken once and then
+// driven through every phase by a spin-then-park barrier — an atomic phase
+// generation the helpers poll (yielding to the scheduler, so a session is
+// safe at GOMAXPROCS=1) for a short budget before parking on their wake
+// channel. Phases that arrive back to back, as they do inside one slot,
+// synchronize without touching the scheduler at all; Run calls issued while
+// a session is open join it transparently, so an evaluator sharing the
+// engine's pool needs no session awareness. Sessions wake helpers lazily:
+// a session whose phases all run inline (small n, one worker) never wakes
+// anyone.
+//
 // The body of a parallel loop is passed as a Task interface value rather
 // than a closure: callers store their task (typically a pointer to the
 // owning struct) once and hand the same value to every Run, so the
-// steady-state slot path performs zero heap allocations.
+// steady-state slot path performs zero heap allocations (sessions included:
+// Begin/End reuse state owned by the Pool).
 //
 // Helpers are spawned lazily on first parallel use and parked between
 // calls; an idle Pool costs nothing but the parked stacks. Close releases
@@ -27,6 +42,7 @@ package workpool
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Task is the body of one parallel loop. RunChunk is invoked with a
@@ -37,6 +53,13 @@ import (
 type Task interface {
 	RunChunk(lo, hi, worker int)
 }
+
+// sessionSpins bounds how many scheduler yields a session participant
+// spends polling the phase generation before parking on its channel. The
+// budget keeps back-to-back phases scheduler-free while capping the cost of
+// a long serial interlude (evaluator preparation on the leader) to a few
+// microseconds of yields per helper.
+const sessionSpins = 128
 
 // state is the part of the pool the helper goroutines reference. It is
 // split from Pool so that the helpers do not keep the Pool header itself
@@ -54,21 +77,47 @@ type state struct {
 	task  Task
 	n     int
 	chunk int
+
+	// Session state. The owner-side fields (sessActive, sessWoke,
+	// sessWorkers, sessHelpers) are only touched by the owning goroutine;
+	// the fields the helpers read (sessMode, sessBase, sessDone and the
+	// per-phase pTask/pN/pChunk) are published either by a wake-channel
+	// send or by the seq-cst phase counter, so every read is ordered by a
+	// synchronizing operation.
+	sessActive  bool // a session is open (owner-side)
+	sessWoke    bool // helpers have been woken into the session
+	sessMode    bool // helpers: a wake enters the session loop, not a plain chunk
+	sessWorkers int
+	sessHelpers int
+	sessDone    bool
+	sessBase    uint64 // phase generation the woken helpers start from
+	phase       atomic.Uint64
+	arrived     atomic.Int64
+	pTask       Task
+	pN          int
+	pChunk      int
+	parked      []int32 // per-helper: 1 while parked at a session barrier
+	leaderPark  int32
+	leaderWake  chan struct{}
 }
 
 // Pool is a persistent worker pool. The zero value is not usable; call New.
 //
-// Run may not be called concurrently with itself or with Close on the same
-// pool: the pool serves one parallel loop at a time (the slot pipeline's
-// phases are sequential, and concurrent users — evaluator forks — each own
-// a private pool).
+// Run, Begin, End and Close may not be called concurrently with each other
+// on the same pool: the pool serves one parallel loop at a time (the slot
+// pipeline's phases are sequential, and concurrent users — evaluator forks
+// — each own a private pool). Close must not be called while a session is
+// open.
 type Pool struct {
 	s *state
 }
 
 // New returns an empty pool. Helper goroutines are spawned lazily by Run.
 func New() *Pool {
-	p := &Pool{s: &state{stop: make(chan struct{})}}
+	p := &Pool{s: &state{
+		stop:       make(chan struct{}),
+		leaderWake: make(chan struct{}, 1),
+	}}
 	// Backstop: release the helpers when the pool's owner drops it without
 	// calling Close. The cleanup references only the inner state, never the
 	// Pool header, so it does not keep the pool alive.
@@ -99,6 +148,12 @@ func (s *state) grow(k int) {
 				case <-s.stop:
 					return
 				}
+				if s.sessMode {
+					if !s.helperSession(w, wake) {
+						return
+					}
+					continue
+				}
 				lo := w * s.chunk
 				hi := lo + s.chunk
 				if hi > s.n {
@@ -109,6 +164,9 @@ func (s *state) grow(k int) {
 			}
 		}()
 	}
+	for len(s.parked) < k {
+		s.parked = append(s.parked, 0)
+	}
 }
 
 // Run partitions [0, n) into up to workers contiguous chunks and executes
@@ -116,9 +174,16 @@ func (s *state) grow(k int) {
 // is the calling goroutine; the partition depends only on n and workers, so
 // a deterministic Task yields deterministic results at any worker count.
 // With workers <= 1 (or n <= 1) the loop runs inline with no handoff at
-// all.
+// all. Inside an open session the call joins the session's fused barrier
+// instead of paying a park/unpark round trip.
 func (p *Pool) Run(n, workers int, t Task) {
 	if n <= 0 {
+		return
+	}
+	s := p.s
+	if s.sessActive {
+		s.sessRun(n, workers, t)
+		runtime.KeepAlive(p)
 		return
 	}
 	if workers > n {
@@ -128,7 +193,6 @@ func (p *Pool) Run(n, workers int, t Task) {
 		t.RunChunk(0, n, 0)
 		return
 	}
-	s := p.s
 	chunk := (n + workers - 1) / workers
 	// Workers whose chunk starts at or beyond n have nothing to do; with
 	// chunk = ceil(n/workers) that is exactly the tail beyond ceil(n/chunk).
@@ -149,4 +213,185 @@ func (p *Pool) Run(n, workers int, t Task) {
 	// cleanup closes stop, and a helper with both a buffered wake signal
 	// and a closed stop channel may exit without running its chunk.
 	runtime.KeepAlive(p)
+}
+
+// Begin opens a fused session with up to workers workers. Until the
+// matching End, every Run on the pool executes its phases on one set of
+// session helpers that are woken at most once (on the first phase that
+// needs them) and synchronize through spin-then-park barriers between
+// phases. Begin allocates nothing once the pool has grown to the session
+// width. Sessions do not nest.
+func (p *Pool) Begin(workers int) {
+	s := p.s
+	if s.sessActive {
+		panic("workpool: nested Begin")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s.sessActive = true
+	s.sessWoke = false
+	s.sessWorkers = workers
+	s.sessHelpers = workers - 1
+	if s.sessHelpers > 0 {
+		s.grow(s.sessHelpers)
+	}
+	runtime.KeepAlive(p)
+}
+
+// End closes the session opened by Begin: the helpers (if any were woken)
+// are released back to their parked wake loop and the call returns once
+// every one of them has left the session, so a following Begin or plain Run
+// observes a quiescent pool.
+func (p *Pool) End() {
+	s := p.s
+	if !s.sessActive {
+		panic("workpool: End without Begin")
+	}
+	s.sessActive = false
+	if !s.sessWoke {
+		return
+	}
+	s.sessWoke = false
+	s.sessDone = true
+	s.phase.Add(1)
+	s.wakeParked()
+	s.wg.Wait()
+	s.sessDone = false
+	s.sessMode = false
+	runtime.KeepAlive(p)
+}
+
+// InSession reports whether a fused session is currently open. Only the
+// pool's owning goroutine may call it.
+func (p *Pool) InSession() bool { return p.s.sessActive }
+
+// sessRun executes one phase of an open session: it publishes the phase
+// parameters, advances the phase generation (waking helpers lazily on the
+// first parallel phase), runs chunk 0 on the caller and waits at the
+// barrier for the session helpers.
+func (s *state) sessRun(n, workers int, t Task) {
+	if workers > s.sessWorkers {
+		workers = s.sessWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial interlude: the helpers keep spinning (or stay parked) at
+		// the current barrier; no phase is published.
+		t.RunChunk(0, n, 0)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	s.pTask, s.pN, s.pChunk = t, n, chunk
+	s.arrived.Store(0)
+	g := s.phase.Add(1)
+	if !s.sessWoke {
+		// First parallel phase of the session: wake every session helper.
+		// They enter helperSession at generation g-1 and immediately
+		// observe this phase.
+		s.sessWoke = true
+		s.sessMode = true
+		s.sessBase = g - 1
+		s.sessDone = false
+		s.wg.Add(s.sessHelpers)
+		for i := 0; i < s.sessHelpers; i++ {
+			s.wake[i] <- struct{}{}
+		}
+	} else {
+		s.wakeParked()
+	}
+	t.RunChunk(0, chunk, 0)
+	s.awaitArrived()
+	s.pTask = nil
+}
+
+// wakeParked delivers one wake to every session helper that parked at the
+// barrier. The park flag is handed off by compare-and-swap, so between the
+// helper and the leader exactly one of them claims it: a claimed flag is
+// always followed by exactly one send, and an unclaimed one by none.
+func (s *state) wakeParked() {
+	for i := 0; i < s.sessHelpers; i++ {
+		if atomic.CompareAndSwapInt32(&s.parked[i], 1, 0) {
+			s.wake[i] <- struct{}{}
+		}
+	}
+}
+
+// awaitArrived blocks the leader until every session helper has arrived at
+// the current phase barrier, spinning briefly before parking on leaderWake.
+func (s *state) awaitArrived() {
+	target := int64(s.sessHelpers)
+	for i := 0; i < sessionSpins; i++ {
+		if s.arrived.Load() >= target {
+			return
+		}
+		runtime.Gosched()
+	}
+	atomic.StoreInt32(&s.leaderPark, 1)
+	if s.arrived.Load() >= target && atomic.CompareAndSwapInt32(&s.leaderPark, 1, 0) {
+		// The last helper arrived before it could claim the park flag, so
+		// no wake is coming (its CAS will fail); reclaiming the flag
+		// ourselves keeps the channel empty.
+		return
+	}
+	<-s.leaderWake
+}
+
+// helperSession is a helper's life inside one fused session: wait for each
+// phase generation, run the helper's chunk, count into the arrival barrier,
+// repeat until the leader publishes the done phase. It reports false when
+// the pool is shutting down.
+func (s *state) helperSession(w int, wake chan struct{}) bool {
+	g := s.sessBase
+	for {
+		if !s.awaitPhase(g+1, w, wake) {
+			s.wg.Done()
+			return false
+		}
+		g++
+		if s.sessDone {
+			s.wg.Done()
+			return true
+		}
+		lo := w * s.pChunk
+		if lo < s.pN {
+			hi := lo + s.pChunk
+			if hi > s.pN {
+				hi = s.pN
+			}
+			s.pTask.RunChunk(lo, hi, w)
+		}
+		if s.arrived.Add(1) == int64(s.sessHelpers) &&
+			atomic.CompareAndSwapInt32(&s.leaderPark, 1, 0) {
+			s.leaderWake <- struct{}{}
+		}
+	}
+}
+
+// awaitPhase waits until the session's phase generation reaches target,
+// spinning with scheduler yields before parking on the helper's wake
+// channel. The park flag handoff mirrors wakeParked: the helper publishes
+// its flag, re-checks the generation, and either reclaims the flag itself
+// (no signal coming) or consumes the signal of the leader that claimed it.
+// It reports false when the pool is shutting down.
+func (s *state) awaitPhase(target uint64, w int, wake chan struct{}) bool {
+	for i := 0; i < sessionSpins; i++ {
+		if s.phase.Load() >= target {
+			return true
+		}
+		runtime.Gosched()
+	}
+	idx := w - 1
+	atomic.StoreInt32(&s.parked[idx], 1)
+	if s.phase.Load() >= target && atomic.CompareAndSwapInt32(&s.parked[idx], 1, 0) {
+		return true
+	}
+	select {
+	case <-wake:
+		return true
+	case <-s.stop:
+		return false
+	}
 }
