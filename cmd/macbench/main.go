@@ -20,6 +20,11 @@
 //   - the hierarchical-bounds tier vs the dense scan on the
 //     sinr.DenseBenchWorkload at k = n/4 and k = n, with the measured
 //     exact-fallback (refine) rate per case;
+//   - the sharded regime at scale (n = 100k, and n = 10⁶ with -large): the
+//     certified sharded pipeline vs the per-pair dense scan, plus the
+//     measured heap footprint of channel + evaluator (rss_bytes,
+//     bytes_per_node), which must stay within
+//     sinr.ShardBytesPerNodeBudget;
 //   - churn epochs on the sinr.ChurnBenchWorkload: incrementally applying
 //     a mobility epoch (1% of nodes moved) to a live evaluator vs
 //     rebuilding it from scratch, in both cache regimes (the apply path is
@@ -34,11 +39,17 @@
 //     the pre-rewrite math.Pow+math.Hypot arithmetic, per fast-pathed
 //     exponent.
 //
-// Two gates run on the fresh measurements themselves, independent of any
-// baseline: at n ≥ 5000 the adaptive engine-step driver must not be slower
-// than the sequential driver beyond stepCrossoverTolerance (the crossover
-// exists precisely to make "Parallel: true" safe to enable), and each
-// integer-α path-loss kernel must beat the math.Pow reference.
+// Several gates run on the fresh measurements themselves, independent of
+// any baseline: at n ≥ 5000 the adaptive engine-step driver must not be
+// slower than the sequential driver beyond stepCrossoverTolerance (the
+// crossover exists precisely to make "Parallel: true" safe to enable), each
+// integer-α path-loss kernel must beat the math.Pow reference, the
+// degenerate all-transmit slot (bounds_full) must not be slower under the
+// adaptive dispatch than under the pinned dense scan beyond
+// boundsFullMinSpeedup (both sides short-circuit on the half-duplex
+// early-out, so a real gap means a tier is paying setup cost before
+// declining), and the sharded evaluator's measured bytes/node must stay
+// within sinr.ShardBytesPerNodeBudget.
 //
 // With -compare FILE the fresh measurements are additionally checked
 // against a previously committed report on machine-invariant quantities:
@@ -96,6 +107,7 @@ func run() int {
 		trials     = flag.Int("trials", 3, "trials per configuration")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		jsonMode   = flag.Bool("json", false, "benchmark the slot pipeline and write a JSON report instead of the ablation sweeps")
+		large      = flag.Bool("large", false, "include the n=1e6 sharded smoke case in -json mode (minutes of extra runtime; keep it out of the committed baseline so gated runs stay fast)")
 		outPath    = flag.String("out", benchFile, "path the -json report is written to")
 		compare    = flag.String("compare", "", "baseline report to check the fresh -json measurements against (fails on gross regressions)")
 		summary    = flag.String("summary", "", "append a markdown baseline-vs-current table of the -json measurements to this file (CI writes it to the job summary)")
@@ -133,7 +145,7 @@ func run() int {
 	}
 
 	if *jsonMode {
-		return runJSONBench(*seed, *outPath, *compare, *summary)
+		return runJSONBench(*seed, *outPath, *compare, *summary, *large)
 	}
 
 	fmt.Printf("ablation workload: one cluster of %d nodes, %d broadcasters, listener = node 0\n\n", *nodes, *nodes-1)
@@ -252,6 +264,37 @@ type boundsCase struct {
 	RefineRate float64 `json:"refine_rate"`
 }
 
+// shardCase is one sharded-regime measurement at scale: the same dense
+// workload evaluated by the per-pair grid regime (dense scan pinned, shards
+// disabled) and by the sharded evaluator, plus the sharded evaluator's
+// measured heap footprint (channel + evaluator + workload, GC-settled
+// HeapAlloc delta). The large case skips the dense side — a 10⁶-node
+// per-pair scan takes minutes per op — and documents footprint and absolute
+// slot cost only.
+type shardCase struct {
+	// Name identifies the scale: "shard_n100k" or "shard_n1m" (-large only).
+	Name string `json:"name"`
+	// Nodes, Transmitters and Shards describe the workload and partition.
+	Nodes        int `json:"nodes"`
+	Transmitters int `json:"transmitters"`
+	Shards       int `json:"shards"`
+	// Dense is the per-pair grid regime's dense scan (absent for the large
+	// case); Shard the sharded evaluator with adaptive certificate dispatch.
+	DenseNsPerOp     float64 `json:"dense_ns_per_op,omitempty"`
+	DenseAllocsPerOp int64   `json:"dense_allocs_per_op,omitempty"`
+	ShardNsPerOp     float64 `json:"shard_ns_per_op"`
+	ShardAllocsPerOp int64   `json:"shard_allocs_per_op"`
+	// SpeedupVsDense is DenseNsPerOp / ShardNsPerOp (0 when no dense side).
+	SpeedupVsDense float64 `json:"speedup_vs_dense,omitempty"`
+	// RefineRate is the certified pipeline's exact-fallback fraction.
+	RefineRate float64 `json:"refine_rate"`
+	// RSSBytes is the settled heap growth of building the channel plus the
+	// sharded evaluator and running one slot; BytesPerNode divides by n and
+	// is gated within-run against sinr.ShardBytesPerNodeBudget.
+	RSSBytes     uint64  `json:"rss_bytes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+}
+
 // churnCase is one churn-epoch measurement: the cost of incrementally
 // applying a mobility epoch to a live fast evaluator
 // (sinr.FastChannel.ApplyEpoch) against rebuilding the evaluator from
@@ -314,6 +357,7 @@ type benchReport struct {
 	Cases       []benchCase  `json:"cases"`
 	SparseCases []sparseCase `json:"sparse_cases"`
 	BoundsCases []boundsCase `json:"bounds_cases"`
+	ShardCases  []shardCase  `json:"shard_cases,omitempty"`
 	ChurnCases  []churnCase  `json:"churn_cases"`
 	StepCases   []stepCase   `json:"step_cases"`
 	KernelCases []kernelCase `json:"kernel_cases,omitempty"`
@@ -345,6 +389,21 @@ const (
 	stepCrossoverTolerance = 1.2
 )
 
+// boundsFullMinSpeedup is the within-run gate on the degenerate all-transmit
+// case: with every node transmitting, half-duplex leaves no listener and
+// both the pinned dense scan and the adaptive dispatch short-circuit on the
+// same O(k) early-out, so the adaptive side may not be meaningfully slower.
+// A ratio below this bound means a tier is paying per-slot setup cost before
+// declining the degenerate slot. Because the two sides are near-identical
+// ~10 µs loops whose single measurements swing tens of percent with host
+// frequency state, the gate judges the ratio of per-side minima over up to
+// boundsFullRounds interleaved measurement rounds (stopping early once it
+// passes): a genuine setup cost is persistent and survives the minimum.
+const (
+	boundsFullMinSpeedup = 0.95
+	boundsFullRounds     = 5
+)
+
 // benchSlot measures one evaluator configuration over a fixed transmitter
 // set, warming the evaluator first so caches behave as in a running
 // simulation.
@@ -362,7 +421,7 @@ func benchSlot(ev sinr.ChannelEvaluator, tx []int) testing.BenchmarkResult {
 // report to outPath, appends a markdown table to summaryPath when set, and
 // — when comparePath is set — checks the fresh numbers against the
 // committed baseline.
-func runJSONBench(seed uint64, outPath, comparePath, summaryPath string) int {
+func runJSONBench(seed uint64, outPath, comparePath, summaryPath string, largeMode bool) int {
 	report := benchReport{GoMaxProcs: runtime.GOMAXPROCS(0), Seed: seed}
 
 	// Naive-vs-fast on the dense canonical workload, both cache regimes:
@@ -456,34 +515,103 @@ func runJSONBench(seed uint64, outPath, comparePath, summaryPath string) int {
 		{"bounds_quarter", boundsN / 4},
 		{"bounds_full", boundsN},
 	} {
+		runtime.GC() // settle the previous family's garbage before timing
 		ch, tx, err := sinr.DenseBenchWorkload(boundsN, reg.k, seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
 			return 1
 		}
-		dense := sinr.NewFastChannel(ch, sinr.FastOptions{SparseFactor: -1, BoundsFactor: -1})
-		denseRes := benchSlot(dense, tx)
-		dense.Close()
-		bounds := sinr.NewFastChannel(ch, sinr.FastOptions{SparseFactor: -1})
-		boundsRes := benchSlot(bounds, tx)
-		st := bounds.BoundsStats()
-		bounds.Close()
-		c := boundsCase{
-			Name:              reg.name,
-			Nodes:             boundsN,
-			Transmitters:      len(tx),
-			DenseNsPerOp:      float64(denseRes.NsPerOp()),
-			DenseAllocsPerOp:  denseRes.AllocsPerOp(),
-			BoundsNsPerOp:     float64(boundsRes.NsPerOp()),
-			BoundsAllocsPerOp: boundsRes.AllocsPerOp(),
-			RefineRate:        st.RefineRate(),
+		measure := func() boundsCase {
+			dense := sinr.NewFastChannel(ch, sinr.FastOptions{SparseFactor: -1, BoundsFactor: -1})
+			denseRes := benchSlot(dense, tx)
+			dense.Close()
+			bounds := sinr.NewFastChannel(ch, sinr.FastOptions{SparseFactor: -1})
+			boundsRes := benchSlot(bounds, tx)
+			st := bounds.BoundsStats()
+			bounds.Close()
+			c := boundsCase{
+				Name:              reg.name,
+				Nodes:             boundsN,
+				Transmitters:      len(tx),
+				DenseNsPerOp:      float64(denseRes.NsPerOp()),
+				DenseAllocsPerOp:  denseRes.AllocsPerOp(),
+				BoundsNsPerOp:     float64(boundsRes.NsPerOp()),
+				BoundsAllocsPerOp: boundsRes.AllocsPerOp(),
+				RefineRate:        st.RefineRate(),
+			}
+			if c.BoundsNsPerOp > 0 {
+				c.SpeedupVsDense = c.DenseNsPerOp / c.BoundsNsPerOp
+			}
+			return c
 		}
-		if c.BoundsNsPerOp > 0 {
-			c.SpeedupVsDense = c.DenseNsPerOp / c.BoundsNsPerOp
+		c := measure()
+		if reg.name == "bounds_full" {
+			// Both sides of the all-transmit slot run the identical O(k)
+			// early-out, so the true ratio is 1 — but at ~10 µs/op a single
+			// measurement swings tens of percent with host frequency state.
+			// Gate on the ratio of per-side minima over a few interleaved
+			// rounds: a real per-slot setup cost is persistent and survives
+			// the minimum, noise does not.
+			for round := 1; round < boundsFullRounds && c.SpeedupVsDense < boundsFullMinSpeedup; round++ {
+				m := measure()
+				if m.DenseNsPerOp < c.DenseNsPerOp {
+					c.DenseNsPerOp = m.DenseNsPerOp
+					c.DenseAllocsPerOp = m.DenseAllocsPerOp
+				}
+				if m.BoundsNsPerOp < c.BoundsNsPerOp {
+					c.BoundsNsPerOp = m.BoundsNsPerOp
+					c.BoundsAllocsPerOp = m.BoundsAllocsPerOp
+					c.RefineRate = m.RefineRate
+				}
+				if c.BoundsNsPerOp > 0 {
+					c.SpeedupVsDense = c.DenseNsPerOp / c.BoundsNsPerOp
+				}
+			}
+			if c.SpeedupVsDense < boundsFullMinSpeedup {
+				fmt.Fprintf(os.Stderr, "macbench: bounds_full gate failed: adaptive dispatch %.0f ns/op vs pinned dense %.0f ns/op (%.2fx < %.2fx) — the degenerate all-transmit slot is paying tier setup cost\n",
+					c.BoundsNsPerOp, c.DenseNsPerOp, c.SpeedupVsDense, boundsFullMinSpeedup)
+				return 1
+			}
 		}
 		report.BoundsCases = append(report.BoundsCases, c)
 		fmt.Printf("%-14s n=%-5d k=%-4d dense %12.0f ns/op (%d allocs)  bounds %9.0f ns/op (%d allocs)  speedup %.1fx  refine %.3f\n",
 			reg.name, c.Nodes, c.Transmitters, c.DenseNsPerOp, c.DenseAllocsPerOp, c.BoundsNsPerOp, c.BoundsAllocsPerOp, c.SpeedupVsDense, c.RefineRate)
+	}
+
+	// The sharded regime at scale: n = 100k (and n = 10⁶ with -large)
+	// against the per-pair dense scan where that scan is still affordable,
+	// with the settled heap footprint of channel + evaluator measured and
+	// gated against the documented per-node budget.
+	shardScales := []struct {
+		name      string
+		n, k      int
+		shards    int // 0 = automatic (n is above the threshold at both scales)
+		withDense bool
+	}{
+		{"shard_n100k", 100_000, 100_000 / 32, 8, true},
+	}
+	if largeMode {
+		shardScales = append(shardScales, struct {
+			name      string
+			n, k      int
+			shards    int
+			withDense bool
+		}{"shard_n1m", 1_000_000, 1_000_000 / 32, 0, false})
+	}
+	for _, sc := range shardScales {
+		c, err := measureShardCase(sc.name, sc.n, sc.k, sc.shards, seed, sc.withDense)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+			return 1
+		}
+		if c.BytesPerNode > sinr.ShardBytesPerNodeBudget {
+			fmt.Fprintf(os.Stderr, "macbench: %s memory gate failed: %.1f heap bytes/node exceeds the documented budget %d\n",
+				c.Name, c.BytesPerNode, sinr.ShardBytesPerNodeBudget)
+			return 1
+		}
+		report.ShardCases = append(report.ShardCases, c)
+		fmt.Printf("%-14s n=%-7d k=%-6d S=%-3d dense %12.0f ns/op  shard %12.0f ns/op (%d allocs)  speedup %.1fx  refine %.3f  %.1f B/node\n",
+			c.Name, c.Nodes, c.Transmitters, c.Shards, c.DenseNsPerOp, c.ShardNsPerOp, c.ShardAllocsPerOp, c.SpeedupVsDense, c.RefineRate, c.BytesPerNode)
 	}
 
 	// Churn epochs: incremental apply vs from-scratch rebuild at n = 5000
@@ -651,6 +779,9 @@ func writeSummary(path, baselinePath string, fresh benchReport) error {
 				for _, c := range base.BoundsCases {
 					baseline[c.Name] = c.SpeedupVsDense
 				}
+				for _, c := range base.ShardCases {
+					baseline[c.Name] = c.SpeedupVsDense
+				}
 				for _, c := range base.ChurnCases {
 					baseline[c.Name] = c.SpeedupVsRebuild
 				}
@@ -682,6 +813,14 @@ func writeSummary(path, baselinePath string, fresh benchReport) error {
 	for _, c := range fresh.BoundsCases {
 		fmt.Fprintf(&b, "| %s (bounds vs dense, refine %.3f) | %d | %d | %.0f | %d | %.1fx | %s |\n",
 			c.Name, c.RefineRate, c.Nodes, c.Transmitters, c.BoundsNsPerOp, c.BoundsAllocsPerOp, c.SpeedupVsDense, ratioCell(c.Name, c.SpeedupVsDense))
+	}
+	for _, c := range fresh.ShardCases {
+		ratio := "— | —"
+		if c.SpeedupVsDense > 0 {
+			ratio = ratioCell(c.Name, c.SpeedupVsDense)
+		}
+		fmt.Fprintf(&b, "| %s (S=%d, refine %.3f, %.1f B/node) | %d | %d | %.0f | %d | %.1fx | %s |\n",
+			c.Name, c.Shards, c.RefineRate, c.BytesPerNode, c.Nodes, c.Transmitters, c.ShardNsPerOp, c.ShardAllocsPerOp, c.SpeedupVsDense, ratio)
 	}
 	for _, c := range fresh.ChurnCases {
 		fmt.Fprintf(&b, "| %s (apply vs rebuild) | %d | %d | %.0f | %d | %.1fx | %s |\n",
@@ -826,6 +965,71 @@ func benchKernelPathLoss(alpha float64, seed uint64) kernelCase {
 	return c
 }
 
+// measureShardCase measures the sharded evaluator on an n-node dense
+// workload with k transmitters per slot, together with the settled heap
+// footprint of channel + evaluator + one evaluated slot. The footprint is a
+// GC-settled runtime.MemStats HeapAlloc delta around the whole build — it is
+// what a simulation at this scale actually holds live, and it is the number
+// the sinr.ShardBytesPerNodeBudget gate judges. When withDense is set the
+// same slot is also timed over the per-pair dense scan (sharding and bounds
+// pinned off) so the case carries a within-run speedup ratio; at the -large
+// scale the dense scan is minutes per op and is skipped.
+func measureShardCase(name string, n, k, shards int, seed uint64, withDense bool) (shardCase, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	ch, tx, err := sinr.DenseBenchWorkload(n, k, seed)
+	if err != nil {
+		return shardCase{}, err
+	}
+	shard := sinr.NewFastChannel(ch, sinr.FastOptions{Shards: shards, SparseFactor: -1})
+	shardCount := shard.Shards()
+	if shardCount == 0 {
+		shard.Close()
+		return shardCase{}, fmt.Errorf("%s: sharded configuration fell back to a per-pair regime", name)
+	}
+	shard.SlotReceptions(tx) // warm: builds the shard index and scratch
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	var heap uint64
+	if after.HeapAlloc > before.HeapAlloc {
+		heap = after.HeapAlloc - before.HeapAlloc
+	}
+	shard.ResetBoundsStats()
+	shardRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			shard.SlotReceptions(tx)
+		}
+	})
+	st := shard.BoundsStats()
+	shard.Close()
+	c := shardCase{
+		Name:             name,
+		Nodes:            n,
+		Transmitters:     len(tx),
+		Shards:           shardCount,
+		ShardNsPerOp:     float64(shardRes.NsPerOp()),
+		ShardAllocsPerOp: shardRes.AllocsPerOp(),
+		RefineRate:       st.RefineRate(),
+		RSSBytes:         heap,
+		BytesPerNode:     float64(heap) / float64(n),
+	}
+	if withDense {
+		dense := sinr.NewFastChannel(ch, sinr.FastOptions{
+			MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: -1, Shards: -1,
+		})
+		denseRes := benchSlot(dense, tx)
+		dense.Close()
+		c.DenseNsPerOp = float64(denseRes.NsPerOp())
+		c.DenseAllocsPerOp = denseRes.AllocsPerOp()
+		if c.ShardNsPerOp > 0 {
+			c.SpeedupVsDense = c.DenseNsPerOp / c.ShardNsPerOp
+		}
+	}
+	return c, nil
+}
+
 // checkStepCrossover enforces the engine-step crossover gate on the fresh
 // measurements: for every deployment size of at least stepCrossoverMinNodes
 // that has both a sequential case and an adaptive (unpinned parallel) case,
@@ -939,6 +1143,11 @@ func gateCases(r benchReport) []gateCase {
 	}
 	for _, c := range r.BoundsCases {
 		out = append(out, gateCase{"bounds", c.Name, "bounds-vs-dense", c.SpeedupVsDense, "bounds", c.BoundsAllocsPerOp})
+	}
+	for _, c := range r.ShardCases {
+		// Dense-less cases (the -large smoke) carry speedup 0, which the
+		// gate's speedup check already skips; the alloc check still applies.
+		out = append(out, gateCase{"shard", c.Name, "shard-vs-dense", c.SpeedupVsDense, "shard", c.ShardAllocsPerOp})
 	}
 	for _, c := range r.ChurnCases {
 		out = append(out, gateCase{"churn", c.Name, "apply-vs-rebuild", c.SpeedupVsRebuild, "apply", c.ApplyAllocsPerOp})

@@ -58,8 +58,25 @@ func run() int {
 		seed         = flag.Uint64("seed", 1, "random seed")
 		parallel     = flag.Bool("parallel", false, "use the goroutine-per-worker simulation driver")
 		evaluator    = flag.String("evaluator", "fast", "SINR slot evaluator: fast (arena/grid engine) or naive (reference scan)")
+		shards       = flag.Int("shards", 0, "spatial shards for the fast evaluator (0 = automatic above the scale threshold, -1 = disable sharding; requires -evaluator fast)")
+		maxNodes     = flag.Int("maxnodes", 2_000_000, "refuse deployments larger than this many nodes (0 = no limit)")
 	)
 	flag.Parse()
+
+	if *shards != 0 && *evaluator != "fast" {
+		fmt.Fprintf(os.Stderr, "sinrsim: -shards requires -evaluator fast (the naive reference scan has no sharded regime)\n")
+		return 2
+	}
+	// Guard before building the topology: beyond this size even the sharded
+	// evaluator's budgeted footprint (sinr.ShardBytesPerNodeBudget heap bytes
+	// per node, plus positions and per-node simulation state) stops fitting
+	// comfortably on typical hosts, and the naive reference scan is hopeless.
+	if *maxNodes > 0 && *n > *maxNodes {
+		fmt.Fprintf(os.Stderr,
+			"sinrsim: n=%d exceeds -maxnodes %d; the evaluator budgets %d heap bytes/node (sinr.ShardBytesPerNodeBudget), so raise -maxnodes explicitly if the host has the memory\n",
+			*n, *maxNodes, sinr.ShardBytesPerNodeBudget)
+		return 2
+	}
 
 	d, err := buildDeployment(*topo, *n, *rangeFlag, *seed)
 	if err != nil {
@@ -96,7 +113,12 @@ func run() int {
 	var ev sinr.ChannelEvaluator
 	switch *evaluator {
 	case "fast":
-		ev = sinr.NewFastChannel(ch)
+		fast := sinr.NewFastChannel(ch, sinr.FastOptions{Shards: *shards})
+		if *shards > 0 && fast.Shards() == 0 {
+			fmt.Fprintf(os.Stderr, "sinrsim: -shards %d requested but the deployment's geometry cannot be sharded (degenerate extent); rerun without -shards\n", *shards)
+			return 2
+		}
+		ev = fast
 	case "naive":
 		ev = nil // sim.Engine defaults to the reference path
 	default:

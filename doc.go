@@ -23,46 +23,77 @@
 //     recomputes every received power. It defines the semantics and is the
 //     default path of sim.Engine.
 //   - the fast engine: sinr.FastChannel, which reuses a per-channel scratch
-//     arena, caches the full received-power matrix for deployments up to
-//     sinr.DefaultMatrixThreshold nodes, and above that threshold combines
-//     a spatial grid (internal/geom) that culls far-field receivers with a
-//     memory-bounded lazy cache of per-sender power columns.
+//     arena and selects one of four regimes at construction (see below):
+//     the cached power matrix for small deployments, the spatial-grid
+//     column-cache regime above it, and the sharded regime at scale.
 //
-// Per slot the fast engine dispatches three ways on the transmitter count
-// k:
+// The regime decision tree, applied once at construction (FastOptions can
+// pin every branch):
 //
-//   - sparse (estimated transmitter-ball coverage below the documented
-//     crossover): sender-centric — only the receivers inside some
-//     transmitter's culling ball are enumerated (every other receiver
-//     provably decodes nothing), making sparse-slot cost output-sensitive
-//     instead of Θ(n·k);
-//   - bounds (dense slots whose k dwarfs the number of occupied grid
-//     cells, by the per-slot cost model of sinr's prepareBounds): the
-//     hierarchical-bounds tier aggregates transmitters per grid cell in
-//     O(k) and evaluates each receiver in O(occupied cells) — near cells
-//     expanded exactly, far cells bounded via precomputed per-cell-offset
-//     power bounds (geom.CellIndex, geom.CellOffsetDistBounds). The decode
-//     decision is emitted directly when the lower- and upper-bound
-//     certificates agree; the invariant making that decision-exact is the
-//     rounding slack ε_k = Θ(k)·ulp by which the bounds are widened, so
-//     they conservatively bracket the floating-point interference sum the
-//     exact path computes in any summation order. Only receivers inside
-//     the resulting thin ambiguous band around β refine through the exact
-//     per-receiver arithmetic (the measured refine rate is ~5% on the
-//     canonical dense workload and is reported per benchmark case);
-//   - dense (everything else, e.g. all-transmit slots with no listeners):
-//     the streaming receiver scan.
+//   - n ≤ sinr.DefaultMatrixThreshold: the matrix regime — the full n×n
+//     received-power matrix is precomputed and every slot is served from
+//     it. Explicit small-n fast path; memory O(n²).
+//   - n above the matrix threshold but at most sinr.DefaultShardThreshold:
+//     the grid regime — a spatial grid (internal/geom) culls far-field
+//     receivers and per-sender power columns are cached lazily. The cache
+//     is bounded by FastOptions.ColumnCacheBytes (default
+//     sinr.DefaultColumnCacheBytes): a clock (second-chance) sweep evicts
+//     cold columns, columns referenced by the slot in flight are pinned,
+//     overflow past the budget is computed uncached, and
+//     FastChannel.ColumnStats exposes lifetime hit/miss/eviction counters.
+//     Memory O(n + budget).
+//   - n past sinr.DefaultShardThreshold (or FastOptions.Shards pinned):
+//     the sharded regime — the primary representation at scale, memory
+//     O(occupied cells + nodes) with no per-pair state (measured ~105 heap
+//     bytes/node at n = 10⁶ against the documented
+//     sinr.ShardBytesPerNodeBudget). The occupied-cell decomposition is
+//     partitioned into vertical cell-column stripes, one shard each, over
+//     a coarser supercell layer (8×8 cells). Each shard evaluates its
+//     receivers against exact near-field terms plus certified remote
+//     aggregates. Deployments whose lattice extent would overflow the
+//     per-offset tables (sinr's boundsMaxOffsets) latch the regime off and
+//     fall back to the grid regime.
+//
+// Per slot, every regime first takes the sparse dispatch when the estimated
+// transmitter-ball coverage is below the documented crossover: sender-
+// centric enumeration of only the receivers inside some transmitter's
+// culling ball (every other receiver provably decodes nothing), making
+// sparse-slot cost output-sensitive instead of Θ(n·k). All-transmit slots
+// short-circuit in O(k) on every regime (half-duplex leaves no listener).
+// Dense slots then evaluate per the regime: matrix/grid stream receivers
+// against the cached powers, with the hierarchical-bounds tier taking over
+// inside the grid regime when k dwarfs the number of occupied cells (per
+// the cost model of sinr's prepareBounds) — transmitters aggregate per grid
+// cell in O(k) and each receiver evaluates in O(occupied cells), near cells
+// expanded exactly, far cells bounded via precomputed per-cell-offset power
+// bounds (geom.CellIndex, geom.CellOffsetDistBounds).
+//
+// The certificate invariant shared by the bounds tier and the sharded
+// regime makes both decision-exact: lower- and upper-bound interference
+// aggregates are widened by the rounding slack ε_k = Θ(k)·ulp, so they
+// conservatively bracket the floating-point interference sum the exact
+// path computes in any summation order, and a decode/silence decision is
+// emitted directly whenever both certificates agree. In the sharded regime
+// this is also the cross-shard invariant: a shard sums exact per-cell
+// aggregates over its 3×3 supercell neighbourhood and certified
+// per-supercell-offset bounds for everything remote, so no shard ever
+// reads another shard's per-receiver state, yet the emitted decision is
+// identical to the global exact evaluation — only receivers inside the
+// resulting thin ambiguous band around β refine through the exact
+// per-receiver arithmetic (measured refine rate ~5% on the canonical dense
+// workload at n = 5000, ~9% at n = 10⁶; reported per benchmark case).
 //
 // Receivers are scanned by a persistent worker pool (internal/workpool)
 // wired to sim.Config.Workers.
 //
-// The paths all produce bit-identical Reception slices: culling, sparse
-// enumeration and the bounds certificates only skip work whose outcome is
-// provably fixed, and the differential property tests
+// The regimes all produce bit-identical Reception slices at any shard and
+// worker count: culling, sparse enumeration and the certificates only skip
+// work whose outcome is provably fixed, and the differential property tests
 // (TestSlotReceptionsEquivalence, TestSparseSenderCentricEquivalence,
-// TestBoundsTierEquivalence and the on-threshold adversarial
-// TestBoundsThresholdRefine in internal/sinr) hold them to that across
-// randomized topologies, densities, transmitter counts and worker counts.
+// TestBoundsTierEquivalence, TestShardedEquivalence with S ∈ {1,2,4,8}
+// and the on-threshold adversarial TestBoundsThresholdRefine in
+// internal/sinr) hold them to that across randomized topologies, densities,
+// transmitter counts and worker counts.
 // Drivers select a path explicitly via sim.Config.Evaluator; the
 // experiment harness (internal/exp), cmd/macbench and cmd/sinrsim use the
 // fast engine, while unit tests exercising channel semantics keep the
@@ -154,23 +185,27 @@
 //     it with sim.Engine.Reset instead of reallocating.
 //
 // TestParallelTablesBitIdentical asserts the contract differentially
-// (1 worker vs 8), and BenchmarkSuiteQuick times the full E1–E7 suite at
-// both worker counts; cmd/experiments exposes the pool via -workers.
+// (1 worker vs 8), and BenchmarkSuiteQuick times the full experiment suite
+// at both worker counts; cmd/experiments exposes the pool via -workers.
 //
 // Runnable entry points are provided under cmd/ and examples/; the
 // top-level benchmark suite (bench_test.go) regenerates every table and
 // figure via `go test -bench=.` and compares the two evaluators at
 // n = 1k/5k/10k via BenchmarkSlotReceptions. cmd/macbench -json writes the
 // slot-pipeline measurements — naive vs fast, sparse vs dense at |tx| = √n,
-// bounds vs dense at |tx| ∈ {n/4, n} with the per-case refine rate,
-// steady-state Engine.Step ns/op and allocs/op under the sequential,
-// adaptive and pinned-fused drivers at n ∈ {2000, 5000}, and the pow-free
-// path-loss kernel vs math.Pow — to BENCH_macbench.json for cross-PR
-// tracking, gates within the run that the adaptive driver never loses to
-// the sequential one beyond 1.2× at n ≥ 5000, and cmd/macbench -json
-// -compare FILE fails on
-// gross (beyond 2×) regressions against a committed baseline; CI runs that
-// gate on every push, renders the per-case table into the job summary and
-// uploads the fresh report as an artifact. cmd/macbench -cpuprofile and
-// -memprofile capture pprof profiles from the same binary the gate runs.
+// bounds vs dense at |tx| ∈ {n/4, n} with the per-case refine rate, the
+// sharded regime vs the per-pair dense scan at n = 100k (and an n = 10⁶
+// smoke behind -large) with its GC-settled rss_bytes/bytes_per_node heap
+// footprint, steady-state Engine.Step ns/op and allocs/op under the
+// sequential, adaptive and pinned-fused drivers at n ∈ {2000, 5000}, and
+// the pow-free path-loss kernel vs math.Pow — to BENCH_macbench.json for
+// cross-PR tracking. Within every run it gates that the adaptive driver
+// never loses to the sequential one beyond 1.2× at n ≥ 5000, that the
+// all-transmit bounds_full case stays at ≥ 0.95× the pinned dense scan,
+// and that the sharded cases stay inside sinr.ShardBytesPerNodeBudget;
+// cmd/macbench -json -compare FILE additionally fails on gross (beyond 2×)
+// regressions against a committed baseline. CI runs that gate on every
+// push, renders the per-case table into the job summary and uploads the
+// fresh report as an artifact. cmd/macbench -cpuprofile and -memprofile
+// capture pprof profiles from the same binary the gate runs.
 package sinrmac

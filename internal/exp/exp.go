@@ -20,6 +20,10 @@
 //	          dynamic-topology API (topology epoch.go) and applied to the
 //	          running engine incrementally (sim.Engine.ApplyEpoch), sweeping
 //	          the per-slot churn rate against the static baseline.
+//	E9-scale  Beyond the paper: the sharded slot evaluator at deployment
+//	          sizes up to n = 10⁶ — cell decomposition, decoded receptions
+//	          of full slot evaluations and the certificate refine rate, as
+//	          a deterministic (timing-free) table.
 //
 // Each experiment returns a Table whose rows are also what
 // cmd/experiments prints and what EXPERIMENTS.md records.
@@ -169,6 +173,7 @@ func Registry() map[string]Runner {
 		"mmb":    MMBScaling,
 		"cons":   ConsensusScaling,
 		"churn":  ChurnLatency,
+		"scale":  ShardScale,
 	}
 }
 

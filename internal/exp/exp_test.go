@@ -33,7 +33,7 @@ func TestTableFormatting(t *testing.T) {
 func TestRegistryAndNames(t *testing.T) {
 	reg := Registry()
 	names := Names()
-	if len(reg) != len(names) || len(reg) != 8 {
+	if len(reg) != len(names) || len(reg) != 9 {
 		t.Fatalf("registry size = %d, names = %d", len(reg), len(names))
 	}
 	for i := 1; i < len(names); i++ {
@@ -62,8 +62,9 @@ func TestDefaultConfig(t *testing.T) {
 }
 
 // TestParallelTablesBitIdentical is the differential test of the parallel
-// scheduler's determinism contract: every E1–E7 table rendered with eight
-// workers must be byte-identical to the sequential (one-worker) harness.
+// scheduler's determinism contract: every registered table rendered with
+// eight workers must be byte-identical to the sequential (one-worker)
+// harness.
 // Under -race this doubles as the race-detector run of the scheduler: eight
 // workers share deployments, strong graphs and evaluator matrices while the
 // jobs execute concurrently.
@@ -250,6 +251,43 @@ func TestChurnLatencyQuick(t *testing.T) {
 	for _, row := range table.Rows {
 		if parseFloat(t, row[6]) <= 0 {
 			t.Fatalf("non-positive latency in row %v", row)
+		}
+	}
+}
+
+func TestScaleSweepQuick(t *testing.T) {
+	table, err := ShardScale(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	prevCells := 0.0
+	for _, row := range table.Rows {
+		n := parseFloat(t, row[0])
+		k := parseFloat(t, row[1])
+		if parseFloat(t, row[2]) <= 0 {
+			t.Fatalf("point did not run the sharded regime: %v", row)
+		}
+		cells := parseFloat(t, row[3])
+		if cells <= 0 || cells > n {
+			t.Fatalf("implausible cell count in row %v", row)
+		}
+		if cells <= prevCells {
+			t.Fatalf("occupied cells did not grow with n: %v", table.Rows)
+		}
+		prevCells = cells
+		// Dense slots at β > 1 decode at most one sender near each
+		// transmitter; across the evaluated slots the workload must decode
+		// something but cannot exceed one reception per listening receiver.
+		receptions := parseFloat(t, row[4])
+		if receptions <= 0 || receptions > float64(scaleSlots)*(n-k) {
+			t.Fatalf("implausible reception count in row %v", row)
+		}
+		refine := parseFloat(t, row[5])
+		if refine < 0 || refine >= 1 {
+			t.Fatalf("refine rate out of range in row %v", row)
 		}
 	}
 }

@@ -117,6 +117,26 @@ func (ci *CellIndex) Coord(c int) (cx, cy int) { return int(ci.cx[c]), int(ci.cy
 // index's arena and must not be modified.
 func (ci *CellIndex) Nodes(c int) []int32 { return ci.nodes[ci.start[c]:ci.start[c+1]] }
 
+// PointCoord returns the lattice coordinates of the cell containing p,
+// relative to the minimum occupied cell (the Coord convention). The result
+// may fall outside [0, Span()] when p lies outside the occupied lattice.
+func (ci *CellIndex) PointCoord(p Point) (cx, cy int) {
+	return int(math.Floor(p.X/ci.cell)) - ci.minCX, int(math.Floor(p.Y/ci.cell)) - ci.minCY
+}
+
+// CellAt returns the dense id of the occupied cell at the given relative
+// lattice coordinates (the Coord convention), or -1 when no node has ever
+// occupied that cell. It is the inverse of Coord and lets callers walk the
+// lattice around a point — the sharded evaluator's candidate enumeration
+// and cell-level culling are built on it.
+func (ci *CellIndex) CellAt(cx, cy int) int {
+	c, ok := ci.ids[cellKey{cx: cx + ci.minCX, cy: cy + ci.minCY}]
+	if !ok {
+		return -1
+	}
+	return int(c)
+}
+
 // Rect returns the closed square region of cell c in plane coordinates.
 func (ci *CellIndex) Rect(c int) Rect {
 	x := float64(ci.minCX+int(ci.cx[c])) * ci.cell

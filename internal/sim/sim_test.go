@@ -485,6 +485,63 @@ func TestFastEvaluatorMatchesNaiveEngine(t *testing.T) {
 	}
 }
 
+// TestShardedEvaluatorMatchesNaiveEngine runs the same random scenario on
+// the naive reference path and on fast evaluators forced into the sharded
+// regime (at several shard counts and dispatch pins) and requires identical
+// executions: the shard partition only distributes work, so the engine-level
+// traffic must not depend on it.
+func TestShardedEvaluatorMatchesNaiveEngine(t *testing.T) {
+	const n, seed, slots = 80, 9, 300
+	naiveNodes, naiveEng := buildRandomScenario(t, n, seed, false)
+	naiveEng.Run(slots, nil)
+	for _, tc := range []struct {
+		name string
+		opts sinr.FastOptions
+	}{
+		{"s1/adaptive", sinr.FastOptions{Shards: 1}},
+		{"s4/cert", sinr.FastOptions{Shards: 4, SparseFactor: -1, BoundsFactor: 1}},
+		{"s4/dense", sinr.FastOptions{Shards: 4, SparseFactor: -1, BoundsFactor: -1}},
+		{"s8/parallel", sinr.FastOptions{Shards: 8}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := rng.New(seed)
+			pos := make([]geom.Point, n)
+			for i := range pos {
+				pos[i] = geom.Point{X: src.Float64() * 40, Y: src.Float64() * 40}
+			}
+			ch, err := sinr.NewChannel(sinr.DefaultParams(12), pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := sinr.NewFastChannel(ch, tc.opts)
+			defer fast.Close()
+			if fast.Shards() == 0 {
+				t.Fatal("sharded configuration fell back to a per-pair regime")
+			}
+			nodes := make([]*randomNode, n)
+			ifaces := make([]Node, n)
+			for i := range nodes {
+				nodes[i] = &randomNode{p: 0.2}
+				ifaces[i] = nodes[i]
+			}
+			eng, err := NewEngine(ch, ifaces, Config{Seed: engineSeed, Parallel: true, Workers: 4, Evaluator: fast})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.Run(slots, nil)
+			if naiveEng.Stats() != eng.Stats() {
+				t.Fatalf("stats diverged: naive %+v, sharded %+v", naiveEng.Stats(), eng.Stats())
+			}
+			for i := range naiveNodes {
+				if naiveNodes[i].sent != nodes[i].sent || naiveNodes[i].received != nodes[i].received {
+					t.Fatalf("node %d diverged: naive sent=%d recv=%d, sharded sent=%d recv=%d",
+						i, naiveNodes[i].sent, naiveNodes[i].received, nodes[i].sent, nodes[i].received)
+				}
+			}
+		})
+	}
+}
+
 // TestSeedReproducibilityAcrossWorkers is the seed-reproducibility check:
 // with a fixed rng seed, Engine.Run yields identical Stats under a single
 // worker (sequential driver) and under GOMAXPROCS workers (parallel driver),
@@ -626,15 +683,20 @@ func TestEngineStepAllocFree(t *testing.T) {
 		workers  int
 		pin      bool
 		p        float64 // per-slot transmit probability (sets tx density)
+		shards   int     // force the sharded evaluator regime when > 0
 	}{
-		{"sequential/dense", false, 1, false, 0.5},
-		{"sequential/sparse", false, 1, false, 0.02},
-		{"parallel/sparse", true, 4, false, 0.02},
+		{"sequential/dense", false, 1, false, 0.5, 0},
+		{"sequential/sparse", false, 1, false, 0.02, 0},
+		{"parallel/sparse", true, 4, false, 0.02, 0},
 		// Pinned forces the fused session driver every slot regardless of
 		// what the crossover would decide, so the Begin/phase/End machinery
 		// itself is held to the zero-alloc budget.
-		{"parallel-pinned/sparse", true, 4, true, 0.02},
-		{"parallel-pinned/dense", true, 4, true, 0.5},
+		{"parallel-pinned/sparse", true, 4, true, 0.02, 0},
+		{"parallel-pinned/dense", true, 4, true, 0.5, 0},
+		// The sharded regime's per-slot aggregation phases ride the same
+		// fused session and share the zero-alloc budget.
+		{"sequential/shard", false, 1, false, 0.5, 4},
+		{"parallel-pinned/shard", true, 4, true, 0.5, 8},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			src := rng.New(31)
@@ -646,8 +708,11 @@ func TestEngineStepAllocFree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			fast := sinr.NewFastChannel(ch)
+			fast := sinr.NewFastChannel(ch, sinr.FastOptions{Shards: tc.shards})
 			defer fast.Close()
+			if tc.shards > 0 && fast.Shards() == 0 {
+				t.Fatal("sharded configuration fell back to a per-pair regime")
+			}
 			nodes := make([]Node, len(pos))
 			for i := range nodes {
 				nodes[i] = &randomNode{p: tc.p}

@@ -158,6 +158,10 @@ type boundsIndex struct {
 	// cell).
 	nearStride   int
 	spanX, spanY int
+	// shard is the sharded regime's extension (supercell tables and the
+	// shard partition, see shard.go), attached under the holder lock when
+	// an evaluator family runs sharded; nil for the flat bounds tier.
+	shard *shardExt
 }
 
 // boundsHolder shares one lazily built boundsIndex between an evaluator

@@ -253,37 +253,54 @@ func (f *FastChannel) patchAfterEpoch(d *EpochDelta, oldN int) {
 				f.mat[s*f.stride+i] = pw
 			}
 		}
-	} else {
+	} else if f.shards == 0 {
 		f.dropColumnCache()
 	}
-	// Spatial grid: tail slots beyond the new count disappear, dirty slots
-	// move (or, for appended ids, insert).
-	for id := n; id < oldN; id++ {
-		f.grid.Remove(id)
-	}
-	for _, id := range d.Dirty {
-		if id < oldN {
-			f.grid.Move(id, f.pos[id])
-		} else {
-			f.grid.Insert(id, f.pos[id])
+	// Spatial grid (per-pair regimes only; the sharded regime holds no
+	// grid): tail slots beyond the new count disappear, dirty slots move
+	// (or, for appended ids, insert).
+	if f.grid != nil {
+		for id := n; id < oldN; id++ {
+			f.grid.Remove(id)
+		}
+		for _, id := range d.Dirty {
+			if id < oldN {
+				f.grid.Move(id, f.pos[id])
+			} else {
+				f.grid.Insert(id, f.pos[id])
+			}
 		}
 	}
 	// Bounds tier: patch the shared cell index in place when it exists and
 	// the epoch stays inside its lattice; otherwise drop it for a lazy
-	// rebuild. The per-offset power tables survive a successful patch
-	// unchanged (they depend only on the lattice span and the physical
-	// parameters).
+	// rebuild (sharded regime: an eager one — the index is the regime's
+	// only spatial state, so it can never stay unresolved). The per-offset
+	// power tables survive a successful patch unchanged (they depend only
+	// on the lattice span and the physical parameters), and so do the
+	// supercell tables and the shard stripe function; newly occupied cells
+	// appended by the patch join the partition under the holder lock.
 	h := f.bholder
 	h.mu.Lock()
 	if h.built && h.idx != nil {
 		if h.idx.cells.ApplyChurn(f.pos, d.Dirty) {
+			if h.idx.shard != nil {
+				h.idx.shard.appendCells(h.idx.cells)
+			}
 			f.bidx, f.boundsOff = h.idx, h.off
+			f.sext = h.idx.shard
 			h.mu.Unlock()
-			f.growBoundsScratch()
+			if f.shards > 0 {
+				f.growShardScratch()
+			} else {
+				f.growBoundsScratch()
+			}
 		} else {
 			h.built, h.idx, h.off = false, nil, false
 			f.bidx, f.boundsOff = nil, false
 			h.mu.Unlock()
+			if f.shards > 0 && !f.ensureShardIndex() {
+				f.demoteToGrid()
+			}
 		}
 	} else {
 		// Not built (never yet, latched off, or already invalidated by
@@ -294,6 +311,9 @@ func (f *FastChannel) patchAfterEpoch(d *EpochDelta, oldN int) {
 		// rebuilt index re-evaluates the cap anyway.
 		f.bidx, f.boundsOff = h.idx, h.off
 		h.mu.Unlock()
+		if f.shards > 0 && f.bidx == nil && !f.ensureShardIndex() {
+			f.demoteToGrid()
+		}
 	}
 	// Coverage model: expand the box by the changed positions.
 	for _, id := range d.Dirty {
@@ -319,6 +339,19 @@ func (f *FastChannel) patchAfterEpoch(d *EpochDelta, oldN int) {
 // would build, which is what the differential churn tests compare against).
 func (f *FastChannel) rebuildAfterEpoch() {
 	n := f.n
+	if f.shards > 0 {
+		// Sharded regime: the cell index is the only spatial state, so it is
+		// rebuilt eagerly (the per-pair regimes below rebuild lazily via the
+		// invalidated holder). A post-epoch deployment stretched past the
+		// offset-table cap demotes to the per-pair grid regime instead.
+		f.bholder.invalidate()
+		if !f.ensureShardIndex() {
+			f.demoteToGrid()
+		}
+		f.box = geom.BoundingBox(f.pos)
+		f.updateCoverageModel()
+		return
+	}
 	f.grid = geom.NewGrid(f.cullRadius)
 	for i, p := range f.pos {
 		f.grid.Insert(i, p)
@@ -347,8 +380,10 @@ func (f *FastChannel) rebuildAfterEpoch() {
 
 // dropColumnCache invalidates the grid regime's lazy power columns: churn
 // makes cached powers stale, and the columns refill lazily as senders
-// transmit again. The per-column budget is re-derived from the configured
-// byte budget at the new node count.
+// transmit again. The resident ring, clock hand and slot stamps reset with
+// them, and the capacity is re-derived from the configured byte budget at
+// the new node count. (The hit/miss/eviction counters are lifetime
+// instrumentation and survive.)
 func (f *FastChannel) dropColumnCache() {
 	n := f.n
 	if n > cap(f.cols) {
@@ -359,11 +394,24 @@ func (f *FastChannel) dropColumnCache() {
 	for i := range f.cols {
 		f.cols[i] = nil
 	}
+	if n > cap(f.colRef) {
+		f.colRef = make([]bool, n)
+		f.colStamp = make([]uint32, n)
+	} else {
+		f.colRef = f.colRef[:n]
+		f.colStamp = f.colStamp[:n]
+		for i := range f.colRef {
+			f.colRef[i] = false
+			f.colStamp[i] = 0
+		}
+	}
+	f.colGen = 0
+	f.colIDs = f.colIDs[:0]
+	f.colHand = 0
 	f.colBudgetInit = 0
 	if f.colBytes > 0 {
 		f.colBudgetInit = int(f.colBytes / int64(8*n))
 	}
-	f.colBudget = f.colBudgetInit
 }
 
 // resizeChurnScratch resizes the per-evaluator slot scratch to the

@@ -137,8 +137,8 @@ func (w *churnWorld) epoch(moves, adds, removes int) *sinr.EpochDelta {
 }
 
 // churnVariants builds the fast-evaluator configurations the churn suite
-// patches: both cache regimes, each dispatch tier pinned and the adaptive
-// default, at one and several workers.
+// patches: both per-pair cache regimes and the sharded regime, each dispatch
+// tier pinned and the adaptive default, at one and several workers.
 func churnVariants(ch *sinr.Channel) map[string]*sinr.FastChannel {
 	return map[string]*sinr.FastChannel{
 		"matrix/default":  sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 2}),
@@ -153,6 +153,10 @@ func churnVariants(ch *sinr.Channel) map[string]*sinr.FastChannel {
 		"grid/nocache":    sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 2, MatrixThreshold: -1, ColumnCacheBytes: -1}),
 		"grid/dense":      sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: -1}),
 		"matrix/bounds1w": sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 1, SparseFactor: -1, BoundsFactor: 1}),
+		"shard/s4":        sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 2, Shards: 4}),
+		"shard/s2/cert":   sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 2, Shards: 2, SparseFactor: -1, BoundsFactor: 1}),
+		"shard/s4/dense":  sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 1, Shards: 4, SparseFactor: -1, BoundsFactor: -1}),
+		"shard/s8/sparse": sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 2, Shards: 8, SparseFactor: 1}),
 	}
 }
 
@@ -318,15 +322,16 @@ func TestChurnForkEquivalence(t *testing.T) {
 
 // TestChurnApplyAllocFree pins the benchmark acceptance property: on a
 // steady-state mobility cycle the incremental apply path performs zero heap
-// allocations, in both cache regimes, including the bounds-tier cell-index
-// patch.
+// allocations, in both per-pair cache regimes and the sharded regime,
+// including the cell-index patch and the shard-partition append.
 func TestChurnApplyAllocFree(t *testing.T) {
 	for _, reg := range []struct {
-		name      string
-		threshold int
+		name string
+		opts sinr.FastOptions
 	}{
-		{"matrix", 1200},
-		{"grid", -1},
+		{"matrix", sinr.FastOptions{Workers: 1, MatrixThreshold: 1200, SparseFactor: -1, BoundsFactor: 1}},
+		{"grid", sinr.FastOptions{Workers: 1, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}},
+		{"shard", sinr.FastOptions{Workers: 1, Shards: 4, SparseFactor: -1, BoundsFactor: 1}},
 	} {
 		t.Run(reg.name, func(t *testing.T) {
 			const n, moved = 1000, 10
@@ -334,8 +339,11 @@ func TestChurnApplyAllocFree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			f := sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 1, MatrixThreshold: reg.threshold, SparseFactor: -1, BoundsFactor: 1})
+			f := sinr.NewFastChannel(ch, reg.opts)
 			defer f.Close()
+			if reg.opts.Shards > 0 && f.Shards() == 0 {
+				t.Fatal("sharded configuration fell back to a per-pair regime")
+			}
 			// Build the bounds cell index and warm every bucket/arena the
 			// cycle will touch.
 			tx := make([]int, 0, n/2)
@@ -439,4 +447,165 @@ func TestChurnDeltaValidate(t *testing.T) {
 	if err := ch.ApplyEpoch(wrongN); err == nil {
 		t.Fatal("Channel.ApplyEpoch accepted a delta for the wrong node count")
 	}
+}
+
+// TestChurnCrossShardMigration drives epochs whose movers cross shard-stripe
+// boundaries: lattice columns are mirrored from the far left of the
+// deployment to the far right, so for any stripe count S ≥ 2 every mover
+// changes shards (the stripe function is monotone in the cell column and the
+// move crosses every stripe boundary). The patched sharded evaluators — and
+// their pre-epoch forks, post-epoch forks and from-scratch rebuilds — must
+// stay bit-identical to the naive reference, and the in-lattice patch must
+// never demote the regime.
+func TestChurnCrossShardMigration(t *testing.T) {
+	const rows, cols = 6, 40
+	var pos []geom.Point
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pos = append(pos, geom.Point{X: 2 * float64(c), Y: 2 * float64(r)})
+		}
+	}
+	n := len(pos)
+	// Range 6 ⇒ cell side ≈ 6: the 78-unit-wide lattice spans ~13 cell
+	// columns, so even S = 8 gets non-degenerate stripes.
+	ch, err := sinr.NewChannel(sinr.DefaultParams(6), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardOpts := map[string]sinr.FastOptions{
+		"s2/cert":     {Workers: 2, Shards: 2, SparseFactor: -1, BoundsFactor: 1},
+		"s4/adaptive": {Workers: 2, Shards: 4},
+		"s4/dense":    {Workers: 2, Shards: 4, SparseFactor: -1, BoundsFactor: -1},
+		"s8/cert/1w":  {Workers: 1, Shards: 8, SparseFactor: -1, BoundsFactor: 1},
+	}
+	roots := make(map[string]*sinr.FastChannel, len(shardOpts))
+	forks := make(map[string]*sinr.FastChannel, len(shardOpts))
+	for name, opt := range shardOpts {
+		root := sinr.NewFastChannel(ch, opt)
+		if root.Shards() == 0 {
+			t.Fatalf("%s: construction fell back to a per-pair regime", name)
+		}
+		roots[name] = root
+		forks[name] = root.Fork()
+	}
+	defer func() {
+		for name := range roots {
+			roots[name].Close()
+			forks[name].Close()
+		}
+	}()
+	src := rng.New(0x5a4d)
+	cur := append([]geom.Point(nil), pos...)
+	// Build every lazy index pre-epoch so the epochs exercise the patch path.
+	for _, tx := range churnTxSets(src, n) {
+		for name := range roots {
+			roots[name].SlotReceptions(tx)
+			forks[name].SlotReceptions(tx)
+		}
+	}
+	for e := 0; e < 5; e++ {
+		// Mirror lattice column e across the deployment: X = 2e becomes
+		// 77.4 - 2e, off the site grid so no two nodes coincide.
+		next := append([]geom.Point(nil), cur...)
+		dirty := make([]int, 0, rows)
+		for r := 0; r < rows; r++ {
+			id := r*cols + e
+			dirty = append(dirty, id)
+			next[id] = geom.Point{X: 2*float64(cols-1) - cur[id].X - 0.6, Y: cur[id].Y}
+		}
+		delta := &sinr.EpochDelta{OldN: n, NewN: n, Dirty: dirty, Positions: next}
+		cur = next
+		for name, root := range roots {
+			if err := root.ApplyEpoch(delta); err != nil {
+				t.Fatalf("epoch %d: ApplyEpoch on %s: %v", e, name, err)
+			}
+			if err := forks[name].ApplyEpoch(delta); err != nil {
+				t.Fatalf("epoch %d: ApplyEpoch on %s fork: %v", e, name, err)
+			}
+			if root.Shards() == 0 {
+				t.Fatalf("epoch %d: in-lattice migration demoted %s", e, name)
+			}
+		}
+		late := roots["s4/adaptive"].Fork()
+		rebuilt := sinr.NewFastChannel(ch, shardOpts["s4/adaptive"])
+		for _, tx := range churnTxSets(src, n) {
+			want := ch.SlotReceptions(tx)
+			for name := range roots {
+				label := fmt.Sprintf("epoch %d %s", e, name)
+				compareReceptions(t, label+" patched", roots[name].SlotReceptions(tx), want, tx)
+				compareReceptions(t, label+" early fork", forks[name].SlotReceptions(tx), want, tx)
+			}
+			compareReceptions(t, fmt.Sprintf("epoch %d late fork", e), late.SlotReceptions(tx), want, tx)
+			compareReceptions(t, fmt.Sprintf("epoch %d rebuilt", e), rebuilt.SlotReceptions(tx), want, tx)
+		}
+		late.Close()
+		rebuilt.Close()
+	}
+}
+
+// TestChurnShardLatticeEscape covers the sharded regime's two escape hatches
+// for epochs that leave the cell index's original lattice. A moderate escape
+// rebuilds the index eagerly inside ApplyEpoch (the regime has no per-pair
+// state to fall back on, so it can never stay unresolved) and the evaluator
+// stays sharded; an escape that stretches the deployment past the
+// offset-table cap demotes the whole fork family to the per-pair grid
+// regime. Either way the results must keep matching the naive reference.
+func TestChurnShardLatticeEscape(t *testing.T) {
+	build := func(t *testing.T) (*sinr.Channel, *sinr.FastChannel, *sinr.FastChannel, []int, []geom.Point) {
+		var pos []geom.Point
+		for r := 0; r < 5; r++ {
+			for c := 0; c < 5; c++ {
+				pos = append(pos, geom.Point{X: 2 * float64(c), Y: 2 * float64(r)})
+			}
+		}
+		ch, err := sinr.NewChannel(sinr.DefaultParams(6), pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := sinr.NewFastChannel(ch, sinr.FastOptions{Workers: 1, Shards: 4, SparseFactor: -1, BoundsFactor: 1})
+		fork := root.Fork()
+		tx := make([]int, 0, len(pos)/2)
+		for i := 0; i < len(pos); i += 2 {
+			tx = append(tx, i)
+		}
+		// Both members evaluate pre-epoch so the shared index is warm.
+		root.SlotReceptions(tx)
+		fork.SlotReceptions(tx)
+		return ch, root, fork, tx, pos
+	}
+	apply := func(t *testing.T, ch *sinr.Channel, root, fork *sinr.FastChannel, tx []int, pos []geom.Point, to geom.Point, wantShards int) {
+		t.Helper()
+		moved := append([]geom.Point(nil), pos...)
+		moved[0] = to
+		delta := &sinr.EpochDelta{OldN: len(pos), NewN: len(pos), Dirty: []int{0}, Positions: moved}
+		if err := root.ApplyEpoch(delta); err != nil {
+			t.Fatalf("root.ApplyEpoch: %v", err)
+		}
+		if err := fork.ApplyEpoch(delta); err != nil {
+			t.Fatalf("fork.ApplyEpoch: %v", err)
+		}
+		if root.Shards() != wantShards || fork.Shards() != wantShards {
+			t.Fatalf("after escape to %v: root has %d shards, fork %d, want %d",
+				to, root.Shards(), fork.Shards(), wantShards)
+		}
+		want := ch.SlotReceptions(tx)
+		compareReceptions(t, "root after lattice escape", root.SlotReceptions(tx), want, tx)
+		compareReceptions(t, "fork after lattice escape", fork.SlotReceptions(tx), want, tx)
+	}
+	t.Run("rebuild", func(t *testing.T) {
+		ch, root, fork, tx, pos := build(t)
+		defer root.Close()
+		defer fork.Close()
+		// ~20 cells away: outside the original lattice, well inside the
+		// offset-table cap, so the eager rebuild keeps the regime sharded.
+		apply(t, ch, root, fork, tx, pos, geom.Point{X: 120, Y: 120}, 4)
+	})
+	t.Run("demote", func(t *testing.T) {
+		ch, root, fork, tx, pos := build(t)
+		defer root.Close()
+		defer fork.Close()
+		// ~500k cells away: the offset tables would exceed boundsMaxOffsets,
+		// so the whole family demotes to the per-pair grid regime.
+		apply(t, ch, root, fork, tx, pos, geom.Point{X: 3e6, Y: 3e6}, 0)
+	})
 }

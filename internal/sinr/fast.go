@@ -88,8 +88,20 @@ type FastOptions struct {
 	// forces the bounds tier onto every such slot (the differential tests
 	// pin it this way), and a negative value disables the tier (the
 	// pre-bounds dense scan the benchmarks compare against). The β guard
-	// (boundsBetaMin) is respected in every mode.
+	// (boundsBetaMin) is respected in every mode. In the sharded regime the
+	// same knob steers the certified pipeline vs the sharded dense scan.
 	BoundsFactor int
+	// Shards selects the sharded regime (shard.go): the matrix-free
+	// evaluator that holds only O(occupied cells + nodes) state and is the
+	// primary representation at scale. Zero (the default) engages it
+	// automatically above DefaultShardThreshold nodes with
+	// defaultShardCount shards; a positive value forces that shard count at
+	// any deployment size (the differential tests pin S ∈ {1, 2, 4, 8}),
+	// and a negative value disables the regime, keeping the per-pair
+	// matrix/grid representations regardless of n. The shard count is a
+	// work-partition width, not a correctness parameter: results are
+	// bit-identical at any value.
+	Shards int
 }
 
 // FastChannel is the scalable SINR slot evaluator. It produces receptions
@@ -123,21 +135,32 @@ type FastOptions struct {
 //     directly when the certificates agree under a k·ulp rounding slack,
 //     and only the thin ambiguous band around β refines through the exact
 //     per-receiver arithmetic;
+//   - above DefaultShardThreshold nodes (or when FastOptions.Shards forces
+//     it) the evaluator runs the sharded regime (shard.go): the bounds
+//     representation, extended with a supercell layer, becomes the primary
+//     one — no matrix, grid or column cache exists at all, memory is
+//     O(occupied cells + nodes), and receivers are scanned in spatial
+//     shards whose knowledge of remote transmitters is certified aggregate
+//     bounds;
 //   - receivers are scanned by a persistent pool of worker goroutines
 //     (internal/workpool) woken by a channel handoff instead of spawned per
 //     slot; the partition is deterministic, so results are identical at any
 //     worker count.
 //
-// Per slot the dispatch is therefore three-way — sparse when the estimated
-// candidate coverage is low, bounds when the per-slot cost model of
-// prepareBounds wins, the dense scan otherwise — and none of the tiers
+// The regime decision is made once, at construction: sharded at scale (or
+// when forced), the per-pair representations otherwise, with the matrix
+// kept up to MatrixThreshold nodes and the grid plus bounded column cache
+// above it. Within the chosen regime each slot then dispatches — sparse
+// when the estimated candidate coverage is low, certified bounds when the
+// per-slot cost model wins, the exact dense scan otherwise — and no tier
 // changes results: a sender whose lone-transmitter SINR is below β cannot
 // be decoded under any interference (the denominator only grows), the
 // sparse path skips exactly the receivers whose every received power is
-// provably below that bound, the bounds tier emits only decisions its
-// conservative certificates prove identical to the exact arithmetic's
-// (bounds.go documents the argument), and every threshold carries slack so
-// borderline cases fall through to the exact reference arithmetic.
+// provably below that bound, the bounds and sharded tiers emit only
+// decisions their conservative certificates prove identical to the exact
+// arithmetic's (bounds.go and shard.go document the argument), and every
+// threshold carries slack so borderline cases fall through to the exact
+// reference arithmetic.
 //
 // The Reception slice returned by SlotReceptions is owned by the evaluator
 // and valid only until the next call; callers that retain it must copy.
@@ -192,14 +215,27 @@ type FastChannel struct {
 	logBallMiss float64
 
 	// Lazy column cache (grid mode): cols[s] is the received power of
-	// sender s at every node, filled the first time s transmits, up to
-	// colBudget columns. Columns are only written between parallel scans.
-	// The cache is private to each evaluator: forks sharing a deployment
-	// each fill their own columns, so concurrent trials never contend.
+	// sender s at every node, filled the first time s transmits, with at
+	// most colBudgetInit columns resident. When the cache is full a
+	// second-chance (clock) sweep over the resident ring evicts a column
+	// that is neither referenced since its last sweep nor pinned by the
+	// current slot (colStamp == colGen), reusing its storage; a slot whose
+	// working set exceeds the capacity therefore keeps its first columns
+	// cached instead of thrashing. Columns are only written between
+	// parallel scans. The cache is private to each evaluator: forks sharing
+	// a deployment each fill their own columns, so concurrent trials never
+	// contend. colHits/colMisses/colEvictions are read via ColumnStats.
 	cols          [][]float64
-	colBudget     int
+	colIDs        []int32  // resident ring: node ids that currently hold a column
+	colRef        []bool   // per node: referenced since the clock hand last passed
+	colStamp      []uint32 // per node: colGen of the last slot that used the column
+	colGen        uint32
+	colHand       int
 	colBudgetInit int
 	colBytes      int64 // configured byte budget, kept to re-derive colBudgetInit under churn
+	colHits       uint64
+	colMisses     uint64
+	colEvictions  uint64
 
 	pool *workpool.Pool
 	// chunkFn is the loop body of the current parallel scan; RunChunk
@@ -251,6 +287,24 @@ type FastChannel struct {
 	boundsSlots        uint64
 	boundsReceivers    uint64
 	boundsRefined      uint64
+
+	// Sharded regime (shard.go): shards > 0 replaces the matrix / grid /
+	// column-cache representations with the cell decomposition plus the
+	// supercell layer of sext. The scratch below extends the bounds tier's
+	// per-cell aggregates with the per-supercell level; superFarLo/Hi/Max
+	// hold the far-field interference bounds of each receiver supercell for
+	// the slot being evaluated.
+	shards        int
+	sext          *shardExt
+	occS          []int32 // occupied transmitter supercells, in occT-encounter order
+	superTxCnt    []int32 // per supercell: transmitter count of the current slot
+	superOccCnt   []int32 // per supercell: occupied-cell count of the current slot
+	superOccStart []int32 // per supercell: CSR offset into occTBySuper
+	superOccFill  []int32 // per supercell: scatter cursor while building the CSR
+	occTBySuper   []int32 // occupied transmitter cells grouped by supercell
+	superFarLo    []float64
+	superFarHi    []float64
+	superFarMax   []float64
 }
 
 var _ ParallelEvaluator = (*FastChannel)(nil)
@@ -294,28 +348,41 @@ func NewFastChannel(c *Channel, opts ...FastOptions) *FastChannel {
 	// Any sender within the near-field clamp distance (1) radiates maximum
 	// power, so the candidate radius never drops below it.
 	f.cullRadius = math.Max(c.params.Range(), 1) * (1 + cullSlack)
-	// The grid is built in both regimes: the matrix path uses it only for
-	// the sparse sender-centric enumeration, the grid path also for
-	// dense-slot receiver culling.
+	f.box = geom.BoundingBox(f.pos)
+	f.updateCoverageModel()
+	budget := opt.ColumnCacheBytes
+	if budget == 0 {
+		budget = DefaultColumnCacheBytes
+	}
+	f.colBytes = budget
+	if s := resolveShards(opt.Shards, n); s > 0 {
+		f.shards = s
+		if f.ensureShardIndex() {
+			// Sharded regime: the cell decomposition plus the supercell
+			// layer is the only spatial state — no grid, matrix or column
+			// cache is built.
+			return f
+		}
+		// Outlier geometry latched the offset tables off: fall back to the
+		// per-pair regimes below.
+		f.shards = 0
+	}
+	// The grid is built in both per-pair regimes: the matrix path uses it
+	// only for the sparse sender-centric enumeration, the grid path also
+	// for dense-slot receiver culling.
 	f.grid = geom.NewGrid(f.cullRadius)
 	for i, p := range f.pos {
 		f.grid.Insert(i, p)
 	}
-	f.box = geom.BoundingBox(f.pos)
-	f.updateCoverageModel()
 	if n <= threshold {
 		f.mat = buildPowerMatrix(c)
 		f.stride = n
 	} else {
-		budget := opt.ColumnCacheBytes
-		if budget == 0 {
-			budget = DefaultColumnCacheBytes
-		}
-		f.colBytes = budget
 		f.cols = make([][]float64, n)
+		f.colRef = make([]bool, n)
+		f.colStamp = make([]uint32, n)
 		if budget > 0 {
 			f.colBudgetInit = int(budget / int64(8*n))
-			f.colBudget = f.colBudgetInit
 		}
 	}
 	return f
@@ -460,9 +527,18 @@ func (f *FastChannel) Fork() *FastChannel {
 	for i := range g.out {
 		g.out[i].Sender = -1
 	}
-	if f.mat == nil {
+	switch {
+	case f.shards > 0:
+		// Sharded regime: share the resolved index and shard extension
+		// (immutable between epochs) and grow private per-slot scratch.
+		g.shards = f.shards
+		g.bidx, g.boundsOff = f.bidx, f.boundsOff
+		g.sext = f.sext
+		g.growShardScratch()
+	case f.mat == nil:
 		g.cols = make([][]float64, g.n)
-		g.colBudget = g.colBudgetInit
+		g.colRef = make([]bool, g.n)
+		g.colStamp = make([]uint32, g.n)
 	}
 	// g shares f's boundsHolder: whichever fork first takes a dense slot
 	// builds the cell index and offset tables once for all of them, and
@@ -478,20 +554,110 @@ func (f *FastChannel) Fork() *FastChannel {
 func (f *FastChannel) Close() { f.pool.Close() }
 
 // ensureColumns fills the power columns of any transmitter that does not
-// have one yet, while the cache budget lasts. It runs before the parallel
-// receiver scan, so the scan sees the cache as read-only.
+// have one yet. It runs before the parallel receiver scan, so the scan sees
+// the cache as read-only. The cache is bounded: below capacity
+// (colBudgetInit columns) a fresh column is allocated; at capacity a
+// second-chance (clock) sweep evicts a resident column and reuses its
+// storage, so a long-running sweep's footprint stays at the configured byte
+// budget no matter how many distinct nodes ever transmit. Columns used by
+// the current slot are pinned (colStamp), so a slot whose transmitter set
+// exceeds the capacity keeps its first columns and serves the overflow by
+// recomputation instead of evicting what it just filled.
 func (f *FastChannel) ensureColumns(tx []int) {
+	if f.colBudgetInit <= 0 {
+		return
+	}
+	f.colGen++
+	if f.colGen == 0 { // stamp wraparound: reset once every 2^32 slots
+		for i := range f.colStamp {
+			f.colStamp[i] = 0
+		}
+		f.colGen = 1
+	}
+	gen := f.colGen
 	for _, s := range tx {
-		if f.cols[s] != nil || f.colBudget <= 0 {
+		if f.cols[s] != nil {
+			f.colRef[s] = true
+			f.colStamp[s] = gen
+			f.colHits++
 			continue
 		}
-		col := make([]float64, f.n)
+		f.colMisses++
+		var col []float64
+		if len(f.colIDs) < f.colBudgetInit {
+			col = make([]float64, f.n)
+			f.colIDs = append(f.colIDs, int32(s))
+		} else {
+			// Clock sweep: skip columns the current slot pinned, give
+			// referenced columns a second chance, evict the first column
+			// with neither. Bounded by two passes over the ring; if every
+			// resident column is pinned by this slot the sender goes
+			// uncached (the chunk evaluators recompute its powers).
+			scanned := 0
+			limit := 2 * len(f.colIDs)
+			for scanned < limit {
+				v := f.colIDs[f.colHand]
+				if f.colStamp[v] == gen {
+					f.colHand++
+					if f.colHand == len(f.colIDs) {
+						f.colHand = 0
+					}
+					scanned++
+					continue
+				}
+				if f.colRef[v] {
+					f.colRef[v] = false
+					f.colHand++
+					if f.colHand == len(f.colIDs) {
+						f.colHand = 0
+					}
+					scanned++
+					continue
+				}
+				col = f.cols[v]
+				f.cols[v] = nil
+				f.colIDs[f.colHand] = int32(s)
+				f.colHand++
+				if f.colHand == len(f.colIDs) {
+					f.colHand = 0
+				}
+				f.colEvictions++
+				break
+			}
+			if col == nil {
+				continue
+			}
+		}
+		f.colRef[s] = true
+		f.colStamp[s] = gen
 		sx, sy := f.px[s], f.py[s]
 		for r := range col {
 			col[r] = f.pairPower(sx, sy, f.px[r], f.py[r])
 		}
 		f.cols[s] = col
-		f.colBudget--
+	}
+}
+
+// ColumnStats reports the lifetime behaviour of the evaluator's lazy
+// power-column cache: transmitter lookups that found a resident column,
+// lookups that had to fill one, evictions performed by the clock sweep, and
+// the current resident count. All zeros in the matrix and sharded regimes
+// (which keep no column cache) and when the cache is disabled.
+type ColumnStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Resident  int
+}
+
+// ColumnStats returns the evaluator's column-cache counters. Like
+// BoundsStats the counters are per evaluator: forks start at zero.
+func (f *FastChannel) ColumnStats() ColumnStats {
+	return ColumnStats{
+		Hits:      f.colHits,
+		Misses:    f.colMisses,
+		Evictions: f.colEvictions,
+		Resident:  len(f.colIDs),
 	}
 }
 
@@ -580,19 +746,39 @@ func (f *FastChannel) SlotReceptions(transmitters []int) []Reception {
 	if len(transmitters) == 0 {
 		return out
 	}
+	distinct := 0
 	for _, t := range transmitters {
-		f.isTx[t] = true
+		if !f.isTx[t] {
+			f.isTx[t] = true
+			distinct++
+		}
+	}
+	if distinct == f.n {
+		// Every node transmits: half-duplex leaves no listener, so the
+		// all--1 state out is already in is the exact result. (Counting
+		// distinct ids, not len(transmitters), keeps this sound when the
+		// caller passes duplicates.) Skipping the dispatch entirely keeps
+		// all-transmit probes at O(k) on every tier.
+		for _, t := range transmitters {
+			f.isTx[t] = false
+		}
+		return out
 	}
 	f.tx = transmitters
 	switch {
 	case f.useSparse(len(transmitters)):
 		f.buildCandidates(transmitters)
-		if f.mat == nil {
+		switch {
+		case f.shards > 0:
+			f.runChunks(len(f.candidates), (*FastChannel).sparseShardChunk)
+		case f.mat == nil:
 			f.ensureColumns(transmitters)
 			f.runChunks(len(f.candidates), (*FastChannel).sparseGridChunk)
-		} else {
+		default:
 			f.runChunks(len(f.candidates), (*FastChannel).sparseMatrixChunk)
 		}
+	case f.shards > 0:
+		f.shardSlot(transmitters)
 	case f.prepareBounds(len(transmitters)):
 		f.runChunks(f.bidx.cells.NumCells(), (*FastChannel).boundsPrepChunk)
 		if f.mat == nil {
@@ -645,6 +831,10 @@ func (f *FastChannel) buildCandidates(tx []int) {
 	}
 	gen := f.markGen
 	f.candidates = f.candidates[:0]
+	if f.shards > 0 {
+		f.appendCandidatesCells(tx, gen)
+		return
+	}
 	for _, s := range tx {
 		f.ball = f.grid.AppendWithin(f.ball[:0], f.pos[s], f.cullRadius)
 		for _, id := range f.ball {

@@ -30,6 +30,11 @@ func fastVariants(t testing.TB, ch *Channel) map[string]*FastChannel {
 		"grid/nocache":     NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, ColumnCacheBytes: -1}),
 		"grid/bounds":      NewFastChannel(ch, FastOptions{Workers: 2, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}),
 		"grid/bounds/4w":   NewFastChannel(ch, FastOptions{Workers: 4, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}),
+		"shard/s1":         NewFastChannel(ch, FastOptions{Workers: 2, Shards: 1}),
+		"shard/s2/dense":   NewFastChannel(ch, FastOptions{Workers: 2, Shards: 2, SparseFactor: -1, BoundsFactor: -1}),
+		"shard/s4/cert":    NewFastChannel(ch, FastOptions{Workers: 2, Shards: 4, SparseFactor: -1, BoundsFactor: 1}),
+		"shard/s4/cert/1w": NewFastChannel(ch, FastOptions{Workers: 1, Shards: 4, SparseFactor: -1, BoundsFactor: 1}),
+		"shard/s8/sparse":  NewFastChannel(ch, FastOptions{Workers: 4, Shards: 8, SparseFactor: 1}),
 	}
 	t.Cleanup(func() {
 		for _, f := range variants {
@@ -423,6 +428,10 @@ func TestFastChannelAllocFree(t *testing.T) {
 		{"grid/bounds", FastOptions{Workers: 1, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}},
 		{"matrix/sparse/4w", FastOptions{Workers: 4, SparseFactor: 1}},
 		{"grid/bounds/4w", FastOptions{Workers: 4, MatrixThreshold: -1, SparseFactor: -1, BoundsFactor: 1}},
+		{"shard/cert", FastOptions{Workers: 1, Shards: 4, SparseFactor: -1, BoundsFactor: 1}},
+		{"shard/dense", FastOptions{Workers: 1, Shards: 4, SparseFactor: -1, BoundsFactor: -1}},
+		{"shard/sparse", FastOptions{Workers: 1, Shards: 4, SparseFactor: 1}},
+		{"shard/cert/4w", FastOptions{Workers: 4, Shards: 8, SparseFactor: -1, BoundsFactor: 1}},
 	} {
 		f := NewFastChannel(ch, tc.opt)
 		f.SlotReceptions(tx) // warm the scratch rows and candidate buffers
@@ -432,6 +441,111 @@ func TestFastChannelAllocFree(t *testing.T) {
 		}
 		f.Close()
 	}
+}
+
+// TestColumnCacheEviction pins the bounded column cache of the grid regime:
+// the resident set never exceeds the configured capacity, the clock sweep
+// recycles column storage when the transmitting working set turns over, the
+// current slot's columns are pinned (a slot whose transmitter set exceeds
+// the capacity serves the overflow by recomputation instead of thrashing
+// the columns it just filled), and every decision stays bit-identical to
+// the naive reference throughout.
+func TestColumnCacheEviction(t *testing.T) {
+	src := rng.New(0xeb1c)
+	const n = 120
+	side := 4 * math.Sqrt(float64(n))
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * side, Y: src.Float64() * side}
+	}
+	ch, err := NewChannel(DefaultParams(10), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid regime with dense dispatch pinned, so every slot runs
+	// ensureColumns + gridChunk; capacity counts whole columns (8n bytes
+	// each).
+	newEval := func(capacity int) *FastChannel {
+		f := NewFastChannel(ch, FastOptions{Workers: 1, MatrixThreshold: -1,
+			SparseFactor: -1, BoundsFactor: -1, ColumnCacheBytes: int64(8 * n * capacity)})
+		t.Cleanup(f.Close)
+		return f
+	}
+	slot := func(t *testing.T, f *FastChannel, tx []int, label string) {
+		t.Helper()
+		want := ch.SlotReceptions(tx)
+		got := f.SlotReceptions(tx)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("%s: node %d decoded sender %d, naive reference says %d",
+					label, r, got[r].Sender, want[r].Sender)
+			}
+		}
+	}
+	t.Run("working set turnover", func(t *testing.T) {
+		f := newEval(6)
+		a := []int{0, 1, 2, 3, 4, 5}
+		b := []int{6, 7, 8, 9, 10, 11}
+		slot(t, f, a, "A cold")
+		if st := f.ColumnStats(); st != (ColumnStats{Misses: 6, Resident: 6}) {
+			t.Fatalf("after cold slot: %+v", st)
+		}
+		slot(t, f, a, "A warm")
+		if st := f.ColumnStats(); st != (ColumnStats{Hits: 6, Misses: 6, Resident: 6}) {
+			t.Fatalf("after warm slot: %+v", st)
+		}
+		// A disjoint working set of the same size must displace every
+		// resident column while the resident count stays at capacity.
+		slot(t, f, b, "B")
+		if st := f.ColumnStats(); st != (ColumnStats{Hits: 6, Misses: 12, Evictions: 6, Resident: 6}) {
+			t.Fatalf("after turnover slot: %+v", st)
+		}
+	})
+	t.Run("slot pins its columns", func(t *testing.T) {
+		f := newEval(4)
+		tx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		slot(t, f, tx, "oversized cold")
+		if st := f.ColumnStats(); st != (ColumnStats{Misses: 8, Resident: 4}) {
+			t.Fatalf("after cold oversized slot: %+v", st)
+		}
+		for i := 0; i < 3; i++ {
+			slot(t, f, tx, "oversized warm")
+		}
+		// Each repeat hits the four pinned columns and recomputes the
+		// overflow; nothing is ever evicted just to be re-evicted within the
+		// same slot.
+		if st := f.ColumnStats(); st != (ColumnStats{Hits: 12, Misses: 20, Resident: 4}) {
+			t.Fatalf("after warm oversized slots: %+v", st)
+		}
+	})
+	t.Run("random sweep stays exact", func(t *testing.T) {
+		f := newEval(3)
+		for c := 0; c < 40; c++ {
+			var tx []int
+			for i := 0; i < n; i++ {
+				if src.Bernoulli(0.15) {
+					tx = append(tx, i)
+				}
+			}
+			slot(t, f, tx, fmt.Sprintf("case %d (k=%d)", c, len(tx)))
+		}
+		st := f.ColumnStats()
+		if st.Evictions == 0 {
+			t.Fatal("a 40-slot sweep over a 3-column cache never evicted")
+		}
+		if st.Resident > 3 {
+			t.Fatalf("resident columns %d exceed the capacity 3", st.Resident)
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		f := NewFastChannel(ch, FastOptions{Workers: 1, MatrixThreshold: -1,
+			SparseFactor: -1, BoundsFactor: -1, ColumnCacheBytes: -1})
+		t.Cleanup(f.Close)
+		slot(t, f, []int{0, 1, 2, 3}, "nocache")
+		if st := f.ColumnStats(); st != (ColumnStats{}) {
+			t.Fatalf("disabled cache reports activity: %+v", st)
+		}
+	})
 }
 
 func BenchmarkFastSlotReceptions200(b *testing.B) {
