@@ -11,13 +11,22 @@
 // Trials fan out across -workers concurrent workers (0 = GOMAXPROCS). The
 // tables are bit-identical at every worker count: all randomness is derived
 // from (seed, experiment, point, trial) labels, never from execution order.
+//
+// A first SIGINT stops the sweep gracefully: experiments completed before
+// the signal are still printed (and flushed to -o), the interrupted one is
+// dropped, and the process exits with status 130. A second SIGINT kills the
+// process immediately via the default handler.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"sinrmac/internal/exp"
 )
@@ -25,6 +34,9 @@ import (
 func main() {
 	os.Exit(run())
 }
+
+// exitInterrupted is the conventional exit status for SIGINT terminations.
+const exitInterrupted = 130
 
 func run() int {
 	var (
@@ -37,14 +49,34 @@ func run() int {
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers}
+	// First SIGINT: set the interrupt flag the trial scheduler polls and
+	// restore the default handler, so completed tables are flushed below
+	// while a second SIGINT still kills a stuck run the usual way.
+	var interrupted atomic.Bool
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		interrupted.Store(true)
+		signal.Stop(sigs)
+	}()
 
+	cfg := exp.Config{
+		Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers,
+		Interrupt: interrupted.Load,
+	}
+
+	status := 0
 	var tables []exp.Table
 	if *expName == "all" {
 		all, err := exp.RunAll(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
+			if !errors.Is(err, exp.ErrInterrupted) {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; flushing %d completed table(s)\n", len(all))
+			status = exitInterrupted
 		}
 		tables = all
 	} else {
@@ -55,8 +87,12 @@ func run() int {
 		}
 		table, err := runner(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
+			if !errors.Is(err, exp.ErrInterrupted) {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(os.Stderr, "experiments: interrupted before the experiment completed")
+			return exitInterrupted
 		}
 		tables = []exp.Table{table}
 	}
@@ -70,11 +106,34 @@ func run() int {
 	}
 	fmt.Print(out.String())
 
-	if *outPath != "" {
-		if err := os.WriteFile(*outPath, []byte(out.String()), 0o644); err != nil {
+	if *outPath != "" && len(tables) > 0 {
+		if err := writeFileAtomic(*outPath, []byte(out.String())); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *outPath, err)
 			return 1
 		}
 	}
-	return 0
+	return status
+}
+
+// writeFileAtomic writes via a temp file and rename, so an interrupt racing
+// the flush can never leave a half-written table file behind.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -33,7 +33,9 @@
 //     allocs/op, the latter expected to be zero): the sequential driver and
 //     the adaptive serial/parallel crossover at n = 2000 and n = 5000, plus
 //     the fused session driver pinned on so its machinery is measured even
-//     where the crossover would decline it;
+//     where the crossover would decline it, and the same serial workload
+//     with a zero-fault injector installed (engine_step_faults), which pins
+//     the fault layer's dispatch cost to healthy simulations;
 //   - the pow-free path-loss kernel (sinr.Params.ReceivedPower with its
 //     integer-α multiplication fast paths plus the Sqrt distance) against
 //     the pre-rewrite math.Pow+math.Hypot arithmetic, per fast-pathed
@@ -48,8 +50,9 @@
 // adaptive dispatch than under the pinned dense scan beyond
 // boundsFullMinSpeedup (both sides short-circuit on the half-duplex
 // early-out, so a real gap means a tier is paying setup cost before
-// declining), and the sharded evaluator's measured bytes/node must stay
-// within sinr.ShardBytesPerNodeBudget.
+// declining), the zero-fault injector may not slow the serial engine step
+// beyond faultHookMaxOverhead, and the sharded evaluator's measured
+// bytes/node must stay within sinr.ShardBytesPerNodeBudget.
 //
 // With -compare FILE the fresh measurements are additionally checked
 // against a previously committed report on machine-invariant quantities:
@@ -78,6 +81,7 @@ import (
 
 	"sinrmac/internal/approgress"
 	"sinrmac/internal/core"
+	"sinrmac/internal/fault"
 	"sinrmac/internal/rng"
 	"sinrmac/internal/sim"
 	"sinrmac/internal/sinr"
@@ -404,6 +408,19 @@ const (
 	boundsFullRounds     = 5
 )
 
+// faultHookMaxOverhead is the within-run gate on the fault-injection hook:
+// the serial engine-step workload with a zero-fault injector installed
+// (engine_step_faults) may cost at most this factor over the identical
+// workload with no hook. A zero-rate plan consumes no randomness and scrubs
+// nothing, so the measured gap is pure dispatch overhead — the price every
+// non-faulty simulation pays for the layer existing. Like bounds_full, the
+// two sides are near-identical loops, so the gate judges the ratio of
+// per-side minima over up to faultHookRounds interleaved rounds.
+const (
+	faultHookMaxOverhead = 1.05
+	faultHookRounds      = 5
+)
+
 // benchSlot measures one evaluator configuration over a fixed transmitter
 // set, warming the evaluator first so caches behave as in a running
 // simulation.
@@ -702,7 +719,7 @@ func runJSONBench(seed uint64, outPath, comparePath, summaryPath string, largeMo
 	} {
 		c, err := benchEngineStep(sc.name, seed, sc.n, sim.Config{
 			Seed: seed, Parallel: sc.par, Workers: sc.workers, PinDriver: sc.pin,
-		})
+		}, false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
 			return 1
@@ -715,6 +732,19 @@ func runJSONBench(seed uint64, outPath, comparePath, summaryPath string, largeMo
 		fmt.Fprintf(os.Stderr, "macbench: engine-step crossover gate failed:\n%v\n", err)
 		return 1
 	}
+
+	// The fault-injection hook's cost to a healthy simulation: the serial
+	// n = 2000 workload with a zero-fault injector wired into the engine,
+	// gated within-run against an interleaved hook-free run of the same
+	// workload (faultHookMaxOverhead over per-side minima).
+	fc, err := benchEngineStepFaults(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+		return 1
+	}
+	report.StepCases = append(report.StepCases, fc)
+	fmt.Printf("%-23s n=%-5d k=%-6.1f %12.0f ns/op (%d allocs)\n",
+		fc.Name, fc.Nodes, fc.TxPerSlot, fc.NsPerOp, fc.AllocsPerOp)
 
 	// Pow-free path-loss kernel vs the pre-rewrite math.Pow + math.Hypot
 	// arithmetic, per fast-pathed exponent. The α = 2 entry is only
@@ -869,8 +899,10 @@ func (n *stepBenchNode) Receive(slot int64, f *sim.Frame) {}
 // workload (≈√n transmitters per slot) over the fast evaluator, under the
 // driver configuration in cfg. The warm-up runs past the adaptive
 // crossover's first probe window so the measured steady state is the driver
-// the engine settled on, not the probe schedule.
-func benchEngineStep(name string, seed uint64, n int, cfg sim.Config) (stepCase, error) {
+// the engine settled on, not the probe schedule. With faultHook set, a
+// zero-fault injector is installed the way a fault experiment would install
+// it (WrapNodes plus Config.Faults), measuring the hook dispatch cost.
+func benchEngineStep(name string, seed uint64, n int, cfg sim.Config, faultHook bool) (stepCase, error) {
 	ch, _, err := sinr.SparseBenchWorkload(n, seed)
 	if err != nil {
 		return stepCase{}, err
@@ -880,6 +912,14 @@ func benchEngineStep(name string, seed uint64, n int, cfg sim.Config) (stepCase,
 	nodes := make([]sim.Node, n)
 	for i := range nodes {
 		nodes[i] = &stepBenchNode{p: txPerSlot / float64(n), kind: kind}
+	}
+	if faultHook {
+		inj, err := fault.NewInjector(fault.Plan{Seed: seed}, n)
+		if err != nil {
+			return stepCase{}, err
+		}
+		nodes = inj.WrapNodes(nodes)
+		cfg.Faults = inj
 	}
 	fast := sinr.NewFastChannel(ch)
 	defer fast.Close()
@@ -904,6 +944,47 @@ func benchEngineStep(name string, seed uint64, n int, cfg sim.Config) (stepCase,
 		NsPerOp:     float64(res.NsPerOp()),
 		AllocsPerOp: res.AllocsPerOp(),
 	}, nil
+}
+
+// benchEngineStepFaults measures engine_step_faults — the serial n = 2000
+// engine-step workload with a zero-fault injector installed — and enforces
+// the faultHookMaxOverhead gate against an interleaved hook-free run of the
+// identical workload. Both sides are re-measured in rounds and judged on
+// per-side minima, so a transient frequency dip cannot fail the gate while
+// a persistent per-slot dispatch cost still does.
+func benchEngineStepFaults(seed uint64) (stepCase, error) {
+	const n = 2000
+	cfg := sim.Config{Seed: seed, Workers: 1}
+	plain, err := benchEngineStep("engine_step", seed, n, cfg, false)
+	if err != nil {
+		return stepCase{}, err
+	}
+	faults, err := benchEngineStep("engine_step_faults", seed, n, cfg, true)
+	if err != nil {
+		return stepCase{}, err
+	}
+	for round := 1; round < faultHookRounds && faults.NsPerOp > plain.NsPerOp*faultHookMaxOverhead; round++ {
+		p, err := benchEngineStep("engine_step", seed, n, cfg, false)
+		if err != nil {
+			return stepCase{}, err
+		}
+		f, err := benchEngineStep("engine_step_faults", seed, n, cfg, true)
+		if err != nil {
+			return stepCase{}, err
+		}
+		if p.NsPerOp < plain.NsPerOp {
+			plain = p
+		}
+		if f.NsPerOp < faults.NsPerOp {
+			faults = f
+		}
+	}
+	if faults.NsPerOp > plain.NsPerOp*faultHookMaxOverhead {
+		return stepCase{}, fmt.Errorf(
+			"engine_step_faults gate failed: zero-fault hook %.0f ns/op vs hook-free %.0f ns/op exceeds %.2fx — the fault layer is taxing healthy simulations",
+			faults.NsPerOp, plain.NsPerOp, faultHookMaxOverhead)
+	}
+	return faults, nil
 }
 
 // kernelSink defeats dead-code elimination of the benchmark loops below.

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"sync/atomic"
 
 	"sinrmac/internal/approgress"
 	"sinrmac/internal/core"
@@ -130,8 +132,24 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sinrsim: %v\n", err)
 		return 1
 	}
-	eng.Run(deadline, nil)
+	// A first SIGINT stops the slot loop at the next slot boundary so the
+	// statistics over the completed prefix are still printed (exit 130); a
+	// second SIGINT kills the process via the restored default handler.
+	var interrupted atomic.Bool
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		<-sigs
+		interrupted.Store(true)
+		signal.Stop(sigs)
+	}()
+	eng.Run(deadline, interrupted.Load)
 
+	status := 0
+	if interrupted.Load() {
+		fmt.Fprintf(os.Stderr, "sinrsim: interrupted after %d slots; reporting the completed prefix\n", eng.Slot())
+		status = 130
+	}
 	st := eng.Stats()
 	fmt.Printf("simulated %d slots: %d transmissions, %d receptions\n", st.Slots, st.Transmissions, st.Receptions)
 
@@ -146,7 +164,7 @@ func run() int {
 		prog.Satisfied, prog.Satisfied+prog.Unsatisfied, prog.MeanLatency, prog.MaxLatency)
 	fmt.Printf("approx progress (G_{1-2eps}): %d/%d windows satisfied, mean latency %.1f, max %d\n",
 		approg.Satisfied, approg.Satisfied+approg.Unsatisfied, approg.MeanLatency, approg.MaxLatency)
-	return 0
+	return status
 }
 
 func buildDeployment(topo string, n int, r float64, seed uint64) (*topology.Deployment, error) {

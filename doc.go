@@ -164,6 +164,46 @@
 // under the combined MAC and reports global broadcast latency against the
 // static baseline on the same topology draw.
 //
+// # Fault model
+//
+// The simulator injects failures without giving up determinism: a
+// fault.Plan (crash-stop and crash-recover schedules, per-slot jammers,
+// frame drop/corruption, Byzantine spam and equivocation) compiles into a
+// fault.Injector wired into the engine as sim.Config.Faults. Every
+// stochastic fault decision draws from labelled rng streams derived from
+// the plan seed alone (fault/plan/{crash,jam,deliver,byz}), and the engine
+// consults the hook only in serial sections in slot order, so a faulty
+// execution is bit-identical across the serial, fused-parallel and adaptive
+// drivers at any worker count (TestFaultDifferentialDrivers). A zero-rate
+// plan consumes no randomness, leaving the execution bit-identical to
+// running with no hook installed — and nearly free, which the
+// engine_step_faults macbench case gates at ≤ 1.05× the hook-free step.
+//
+// The fault classes differ in what they may touch. Crashed nodes are inert:
+// their Tick is skipped, their frames are withheld and their inbound
+// receptions scrubbed, without perturbing survivors' streams; crash-recover
+// schedules resume the same automaton with its state intact. Jammers are
+// extra transmitters injected into the slot's transmit set before SINR
+// evaluation, so they degrade the channel physically rather than by fiat
+// (their own decodes are scrubbed and they are excluded from traffic
+// stats). Drops and corruption act per (receiver, slot) on delivered
+// frames; corrupted frames keep their kind but carry a poisoned message ID
+// and nil payload. Byzantine nodes are wrapped automata
+// (fault.Injector.WrapNodes) that may spam noise frames or mutate their
+// own outgoing frames — but the engine overwrites the link-layer sender
+// after Tick, so even a Byzantine node cannot forge Frame.From. A panic in
+// any node's Tick or Receive is recovered, recorded
+// (fault.Injector.Panics) and converted into a crash-stop of that node
+// alone; the run completes and the rest of the execution is unperturbed.
+//
+// Degradation is measured, not assumed: core.CheckDeadlines turns recorder
+// events into per-run acknowledgment/progress deadline-violation counts
+// (censoring in-flight windows at the horizon), consensus.CheckFaulty
+// verifies agreement and validity over the correct nodes only, and
+// experiment E10-fault sweeps crash rate, jammer count and Byzantine
+// fraction against those checkers — asserting in-run that the zero-fault
+// control row stays clean.
+//
 // # Parallel experiment scheduler
 //
 // The experiment harness (internal/exp) runs every sweep as a grid of

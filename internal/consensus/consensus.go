@@ -209,3 +209,81 @@ func DecisionSlot(nodes []*Node) (int64, bool) {
 	}
 	return last, true
 }
+
+// FaultReport is the fault-mode counterpart of CheckAgreement: under crash
+// and Byzantine faults the consensus properties are only owed to the
+// correct (non-faulty) nodes, and the interesting output is how badly they
+// degrade rather than a single pass/fail. QuorumIntact records the quorum
+// assumption the PoDC-style analysis rests on: a correct majority.
+type FaultReport struct {
+	// Total, Crashed, Byzantine and Correct partition the nodes (a node
+	// both crashed and Byzantine counts once, as faulty).
+	Total     int
+	Crashed   int
+	Byzantine int
+	Correct   int
+	// Decided and Undecided partition the correct nodes by termination.
+	Decided   int
+	Undecided int
+	// AgreementBreaches counts decided correct nodes whose decision
+	// differs from the first decided correct node's.
+	AgreementBreaches int
+	// ValidityBreaches counts decided correct nodes whose decision is not
+	// any correct node's initial value — the signature of a Byzantine
+	// forgery winning the flood.
+	ValidityBreaches int
+	// QuorumIntact reports whether correct nodes outnumber faulty ones
+	// (Correct > Total/2). When false, breaches above are expected rather
+	// than anomalous.
+	QuorumIntact bool
+}
+
+// CheckFaulty audits the consensus properties over a possibly-faulty
+// execution. crashed and byzantine flag the faulty nodes (either may be
+// nil); properties are checked among the correct nodes only, so crashed
+// nodes that never decide are counted in the report but are not violations.
+func CheckFaulty(nodes []*Node, initials []Value, crashed, byzantine []bool) FaultReport {
+	rep := FaultReport{Total: len(nodes)}
+	faulty := func(i int) bool {
+		c := crashed != nil && crashed[i]
+		b := byzantine != nil && byzantine[i]
+		return c || b
+	}
+	var reference Value
+	haveRef := false
+	for i, n := range nodes {
+		if crashed != nil && crashed[i] {
+			rep.Crashed++
+		}
+		if byzantine != nil && byzantine[i] {
+			rep.Byzantine++
+		}
+		if faulty(i) {
+			continue
+		}
+		rep.Correct++
+		ok, v, _ := n.Decided()
+		if !ok {
+			rep.Undecided++
+			continue
+		}
+		rep.Decided++
+		if !haveRef {
+			reference, haveRef = v, true
+		} else if v != reference {
+			rep.AgreementBreaches++
+		}
+		valid := false
+		for j := range nodes {
+			if !faulty(j) && j < len(initials) && initials[j] == v {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			rep.ValidityBreaches++
+		}
+	}
+	rep.QuorumIntact = rep.Correct > rep.Total/2
+	return rep
+}

@@ -252,3 +252,73 @@ func MeasureProgress(events []Event, g, trigger *graphs.Graph, horizon int64) Pr
 	}
 	return report
 }
+
+// DeadlineReport is the fault-mode violation accounting layered on top of
+// CheckAcks and MeasureProgress: under fault injection the absolute spec
+// properties may legitimately fail (a crashed neighbour never receives, a
+// jammed slot delays an ack), so instead of a boolean verdict the checker
+// counts deadline misses — broadcasts not acknowledged within AckDeadline
+// and progress windows not satisfied within ProgressDeadline.
+type DeadlineReport struct {
+	// AckDeadline and ProgressDeadline are the slot budgets checked.
+	AckDeadline      int64
+	ProgressDeadline int64
+	// Bcasts counts broadcasts observed; Aborted the ones the MAC aborted
+	// (excluded from deadline accounting — an abort is an explicit signal,
+	// not a silent miss).
+	Bcasts  int
+	Aborted int
+	// LateAcks counts broadcasts acknowledged after AckDeadline and
+	// NeverAcked the ones with no ack whose deadline expired before the
+	// horizon (still-in-flight broadcasts near the end of the trace are
+	// censored, not counted as misses); AckMisses is their sum.
+	LateAcks   int
+	NeverAcked int
+	AckMisses  int
+	// NiceViolations counts acknowledged broadcasts missing a G-neighbour
+	// delivery (AckReport.Violations): under crash faults these are the
+	// expected signature of acks racing a neighbour's death.
+	NiceViolations int
+	// ProgressWindows counts progress observation windows and
+	// ProgressMisses the ones unsatisfied or satisfied past
+	// ProgressDeadline.
+	ProgressWindows int
+	ProgressMisses  int
+}
+
+// CheckDeadlines runs the acknowledgment and progress checkers over a trace
+// and folds their measurements into deadline-miss counts. g is the reliable
+// communication graph (also used as the progress trigger graph); horizon
+// caps unfinished observation windows as in MeasureProgress.
+func CheckDeadlines(events []Event, g *graphs.Graph, ackDeadline, progressDeadline, horizon int64) DeadlineReport {
+	rep := DeadlineReport{AckDeadline: ackDeadline, ProgressDeadline: progressDeadline}
+	acks := CheckAcks(events, g)
+	rep.Bcasts = len(acks.Records)
+	rep.NiceViolations = acks.Violations
+	for _, r := range acks.Records {
+		switch {
+		case r.Aborted && r.AckSlot < 0:
+			rep.Aborted++
+		case r.AckSlot < 0:
+			if r.BcastSlot+ackDeadline <= horizon {
+				rep.NeverAcked++
+			}
+		case r.Latency > ackDeadline:
+			rep.LateAcks++
+		}
+	}
+	rep.AckMisses = rep.LateAcks + rep.NeverAcked
+	prog := MeasureProgress(events, g, g, horizon)
+	rep.ProgressWindows = len(prog.Samples)
+	for _, s := range prog.Samples {
+		switch {
+		case !s.Satisfied:
+			if s.StartSlot+progressDeadline <= horizon {
+				rep.ProgressMisses++
+			}
+		case s.Latency > progressDeadline:
+			rep.ProgressMisses++
+		}
+	}
+	return rep
+}

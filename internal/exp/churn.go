@@ -110,7 +110,7 @@ func ChurnLatency(cfg Config) (Table, error) {
 			node.SetLayer(layers[i])
 			nodes[i] = node
 		}
-		eng, err := tc.PrivateEngine(ch, nodes, fast)
+		eng, err := tc.PrivateEngine(ch, nodes, fast, nil)
 		if err != nil {
 			return churnTrialResult{}, err
 		}

@@ -24,6 +24,12 @@
 //	          sizes up to n = 10⁶ — cell decomposition, decoded receptions
 //	          of full slot evaluations and the certificate refine rate, as
 //	          a deterministic (timing-free) table.
+//	E10-fault Beyond the paper: graceful degradation of the combined MAC
+//	          and the consensus layer under a deterministic fault plan
+//	          (internal/fault) — sweeping crash rate × jam power ×
+//	          Byzantine fraction and reporting decision coverage,
+//	          agreement/validity violations among correct nodes and
+//	          deadline misses (core.CheckDeadlines, consensus.CheckFaulty).
 //
 // Each experiment returns a Table whose rows are also what
 // cmd/experiments prints and what EXPERIMENTS.md records.
@@ -45,6 +51,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -70,7 +77,18 @@ type Config struct {
 	// derived from (Seed, experiment, point, trial) labels, so the emitted
 	// tables are bit-identical at any worker count.
 	Workers int
+	// Interrupt, when non-nil, is polled before each trial job. Once it
+	// returns true the scheduler stops picking up new jobs (in-flight
+	// ones finish) and the experiment returns an error wrapping
+	// ErrInterrupted. cmd/experiments wires SIGINT to it so the tables
+	// completed before the signal can still be flushed.
+	Interrupt func() bool
 }
+
+// ErrInterrupted is the sentinel wrapped by experiment errors when the
+// sweep was cut short via Config.Interrupt. Tables completed before the
+// interruption remain valid; the interrupted experiment's table does not.
+var ErrInterrupted = errors.New("interrupted")
 
 // DefaultConfig returns the configuration used by cmd/experiments.
 func DefaultConfig() Config {
@@ -174,6 +192,7 @@ func Registry() map[string]Runner {
 		"cons":   ConsensusScaling,
 		"churn":  ChurnLatency,
 		"scale":  ShardScale,
+		"fault":  FaultDegradation,
 	}
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestTableFormatting(t *testing.T) {
 func TestRegistryAndNames(t *testing.T) {
 	reg := Registry()
 	names := Names()
-	if len(reg) != len(names) || len(reg) != 9 {
+	if len(reg) != len(names) || len(reg) != 10 {
 		t.Fatalf("registry size = %d, names = %d", len(reg), len(names))
 	}
 	for i := 1; i < len(names); i++ {
@@ -289,5 +290,25 @@ func TestScaleSweepQuick(t *testing.T) {
 		if refine < 0 || refine >= 1 {
 			t.Fatalf("refine rate out of range in row %v", row)
 		}
+	}
+}
+
+// TestInterruptStopsSweep: a Config.Interrupt that trips mid-sweep makes
+// the experiment fail with an error wrapping ErrInterrupted instead of
+// running to completion.
+func TestInterruptStopsSweep(t *testing.T) {
+	calls := 0
+	cfg := quickConfig()
+	cfg.Workers = 1
+	cfg.Interrupt = func() bool {
+		calls++
+		return calls > 1 // let the first job through
+	}
+	_, err := AckScaling(cfg)
+	if err == nil {
+		t.Fatal("interrupted sweep completed")
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("error %v does not wrap ErrInterrupted", err)
 	}
 }

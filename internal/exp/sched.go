@@ -168,16 +168,18 @@ func (tc *TrialContext) Engine(nodes []sim.Node) (*sim.Engine, error) {
 }
 
 // PrivateEngine builds a trial-private engine over a channel and evaluator
-// the trial owns, seeded with the trial's engine seed. The churn experiment
-// uses it: churn epochs mutate the deployment, channel and evaluator in
-// place, so — unlike Engine — nothing here may be shared with or reused by
-// other trials of the point. The caller owns the evaluator's lifetime
-// (close a FastChannel when the trial ends).
-func (tc *TrialContext) PrivateEngine(ch *sinr.Channel, nodes []sim.Node, ev sinr.ChannelEvaluator) (*sim.Engine, error) {
+// the trial owns, seeded with the trial's engine seed. The churn and fault
+// experiments use it: churn epochs mutate the deployment, channel and
+// evaluator in place, and a fault injector carries per-trial mutable
+// schedule state, so — unlike Engine — nothing here may be shared with or
+// reused by other trials of the point. The caller owns the evaluator's
+// lifetime (close a FastChannel when the trial ends); faults may be nil.
+func (tc *TrialContext) PrivateEngine(ch *sinr.Channel, nodes []sim.Node, ev sinr.ChannelEvaluator, faults sim.FaultHook) (*sim.Engine, error) {
 	return sim.NewEngine(ch, nodes, sim.Config{
 		Seed:      tc.seed,
 		Workers:   1,
 		Evaluator: ev,
+		Faults:    faults,
 	})
 }
 
@@ -205,6 +207,11 @@ func runTrials[T any](cfg Config, experiment string, points, trials int, fn func
 	expSrc := rng.New(cfg.Seed).SplitLabeled(rng.Label(experiment))
 	var failed atomic.Bool
 	runJob := func(wk *trialWorker, job int) {
+		if cfg.Interrupt != nil && cfg.Interrupt() {
+			errs[job] = ErrInterrupted
+			failed.Store(true)
+			return
+		}
 		point, trial := job/trials, job%trials
 		tc := &TrialContext{
 			Point:     point,

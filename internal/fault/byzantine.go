@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"sinrmac/internal/core"
+	"sinrmac/internal/rng"
+	"sinrmac/internal/sim"
+)
+
+// noiseIDBase keeps spam message ids disjoint from protocol ids (which are
+// small node/round encodings): the top bit is set and the node id and slot
+// are packed below it.
+const noiseIDBase = uint64(1) << 63
+
+// byzantineNode wraps a correct automaton in an adversary: on slots where
+// the inner node stays silent it spams a noise frame with probability
+// spamRate, and on slots where the inner node transmits it rewrites the
+// outgoing frame via mutate with probability mutateRate (equivocation).
+//
+// The wrapper cannot forge the link-layer sender: the engine overwrites
+// Frame.From with the true slot id after every Tick, so a Byzantine node
+// lies only about message contents (Msg.ID, Msg.Origin, payloads). Its
+// adversarial randomness comes from a private fault/plan/byz/<node> stream
+// re-derived on every Init, so wrapped executions replay under
+// Engine.Reset; the inner node's engine-provided stream passes through
+// untouched.
+type byzantineNode struct {
+	inner      sim.Node
+	seed       uint64
+	spamRate   float64
+	mutateRate float64
+	mutate     MutateFunc
+
+	id      int
+	src     *rng.Source
+	spammed int
+	mutated int
+}
+
+// Init implements sim.Node.
+func (w *byzantineNode) Init(id int, src *rng.Source) {
+	w.id = id
+	w.src = rng.New(w.seed).SplitLabels(byzLabel, uint64(id), 1)
+	w.spammed, w.mutated = 0, 0
+	w.inner.Init(id, src)
+}
+
+// InitError implements sim.NodeInitError by passing through the inner
+// node's recorded failure, if it reports one.
+func (w *byzantineNode) InitError() error {
+	if ie, ok := w.inner.(sim.NodeInitError); ok {
+		return ie.InitError()
+	}
+	return nil
+}
+
+// Tick implements sim.Node. Stream discipline: exactly one adversarial
+// draw per Tick outcome (mutate when the inner node sent, spam when it did
+// not), so consumption is a pure function of the inner node's
+// deterministic transmit history.
+func (w *byzantineNode) Tick(slot int64, f *sim.Frame) bool {
+	if w.inner.Tick(slot, f) {
+		if w.mutate != nil && w.src.Bernoulli(w.mutateRate) {
+			w.mutate(slot, w.id, f, w.src)
+			w.mutated++
+		}
+		return true
+	}
+	if w.src.Bernoulli(w.spamRate) {
+		f.Kind = NoiseFrameKind
+		f.Msg = core.Message{
+			ID:     core.MessageID(noiseIDBase | uint64(w.id)<<24 | uint64(slot)&0xffffff),
+			Origin: w.id,
+		}
+		f.Payload = nil
+		w.spammed++
+		return true
+	}
+	return false
+}
+
+// Receive implements sim.Node: the inner automaton still processes traffic
+// (a Byzantine node participates, it just lies).
+func (w *byzantineNode) Receive(slot int64, f *sim.Frame) { w.inner.Receive(slot, f) }

@@ -253,3 +253,42 @@ func TestEngineSurfacesInitErrors(t *testing.T) {
 		t.Fatalf("Reset error = %v, want wrapped init failure", err)
 	}
 }
+
+// TestEngineApplyEpochInitFailureMidChurn: after a successful growth epoch,
+// a later epoch whose factory produces failing nodes is rejected without
+// disturbing the running engine — it stays at the successful epoch's size,
+// keeps simulating, and accepts a subsequent valid epoch.
+func TestEngineApplyEpochInitFailureMidChurn(t *testing.T) {
+	const n = 6
+	eng, _ := churnEngine(t, n, 5, true)
+	grow := func(size int) *sinr.EpochDelta {
+		return &sinr.EpochDelta{
+			OldN: size, NewN: size + 1,
+			Dirty: []int{size}, Added: []int{size},
+			Positions: latticePositions(size + 1),
+		}
+	}
+	if err := eng.ApplyEpoch(grow(n), func(id int) Node { return &randomNode{p: 0.2} }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(5, nil)
+	factoryCalls := 0
+	if err := eng.ApplyEpoch(grow(n+1), func(id int) Node { factoryCalls++; return &initFailNode{} }); err == nil ||
+		!strings.Contains(err.Error(), "failed to initialise") {
+		t.Fatalf("mid-churn failing factory error = %v", err)
+	}
+	if factoryCalls == 0 {
+		t.Fatal("failing factory was never invoked")
+	}
+	if got := len(eng.nodes); got != n+1 {
+		t.Fatalf("failed mid-churn apply resized the engine to %d nodes, want %d", got, n+1)
+	}
+	eng.Run(5, nil)
+	if err := eng.ApplyEpoch(grow(n+1), func(id int) Node { return &randomNode{p: 0.2} }); err != nil {
+		t.Fatalf("valid epoch after the failed one: %v", err)
+	}
+	eng.Run(5, nil)
+	if got := eng.Stats().Slots; got != 15 {
+		t.Fatalf("engine simulated %d slots across the churn sequence, want 15", got)
+	}
+}

@@ -61,6 +61,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"sinrmac/internal/rng"
@@ -166,6 +167,12 @@ type Config struct {
 	// registered on an engine with a non-nil Evaluator must copy the slice
 	// if they retain it beyond the OnSlot call.
 	Evaluator sinr.ChannelEvaluator
+	// Faults installs a fault-injection hook (see FaultHook and
+	// internal/fault): crash schedules, adversarial jammers, frame
+	// drop/corruption and panic-to-crash conversion. Nil (the default)
+	// leaves the slot pipeline untouched; a hook whose plan injects nothing
+	// produces an execution bit-identical to running without one.
+	Faults FaultHook
 }
 
 // Engine drives a set of node automata over an SINR channel.
@@ -206,6 +213,16 @@ type Engine struct {
 	tickSlot int64
 	rxSlot   int64
 	rxRec    []sinr.Reception
+
+	// Fault-injection state (used only when cfg.Faults is non-nil). inert
+	// is the hook's per-slot bitmap (nil when no node is inert), realTx the
+	// count of real transmitters before jammer injection, and pendingPanics
+	// the recovered node panics awaiting serial hand-off to the hook.
+	faults        FaultHook
+	inert         []bool
+	realTx        int
+	panicMu       sync.Mutex
+	pendingPanics []panicRecord
 
 	cal driverCal // serial/parallel crossover + phase-cost measurements
 }
@@ -359,6 +376,11 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 	}
 	e.tickTask = phaseTask{e: e, fn: (*Engine).tickChunk}
 	e.recvTask = phaseTask{e: e, fn: (*Engine).recvChunk}
+	e.faults = cfg.Faults
+	if e.faults != nil {
+		e.tickTask.fn = (*Engine).tickChunkFaults
+		e.recvTask.fn = (*Engine).recvChunkFaults
+	}
 	e.workers = e.resolveWorkers()
 	e.rxCounts = make([]int64, e.workers)
 	for i := range e.frames {
@@ -428,6 +450,11 @@ func (e *Engine) Reset(nodes []Node, seed uint64) error {
 	e.cal = driverCal{}
 	e.epochs = 0
 	e.nextID = len(nodes)
+	if e.faults != nil {
+		e.faults.Reset()
+		e.inert = nil
+		e.pendingPanics = e.pendingPanics[:0]
+	}
 	master := rng.New(seed)
 	for i, n := range nodes {
 		n.Init(i, master.SplitLabeled(uint64(i)))
@@ -542,6 +569,12 @@ func (e *Engine) ApplyEpoch(delta *sinr.EpochDelta, newNode func(id int) Node) e
 	if pe, ok := e.evaluator.(sinr.ParallelEvaluator); ok {
 		pe.SetWorkers(e.workers)
 	}
+	// Per-node fault state (crash schedules, inert bits) follows the same
+	// relabels the node table just applied.
+	if e.faults != nil {
+		e.faults.EpochApplied(delta)
+		e.inert = nil
+	}
 	return nil
 }
 
@@ -575,26 +608,33 @@ func (e *Engine) Node(id int) Node { return e.nodes[id] }
 func (e *Engine) Step() {
 	parallel, timed := e.driverForSlot()
 	if !timed {
-		if parallel {
-			e.stepParallel()
-		} else {
-			e.stepSerial()
-		}
+		e.stepOnce(parallel)
 		return
 	}
 	e.cal.probing = parallel
 	start := time.Now()
-	if parallel {
-		e.stepParallel()
-	} else {
-		e.stepSerial()
-	}
+	e.stepOnce(parallel)
 	elapsed := float64(time.Since(start))
 	e.cal.probing = false
 	if parallel {
 		e.cal.parallelNs += elapsed
 	} else {
 		e.cal.serialNs += elapsed
+	}
+}
+
+// stepOnce runs one slot on the selected driver, taking the fault-path
+// variant when a hook is installed (the plain paths stay branch-free).
+func (e *Engine) stepOnce(parallel bool) {
+	switch {
+	case parallel && e.faults != nil:
+		e.stepParallelFaults()
+	case parallel:
+		e.stepParallel()
+	case e.faults != nil:
+		e.stepSerialFaults()
+	default:
+		e.stepSerial()
 	}
 }
 
@@ -711,9 +751,15 @@ func (e *Engine) stepParallel() {
 	e.finishSlot(slot, receptions)
 }
 
-// finishSlot applies the per-slot bookkeeping shared by both drivers.
+// finishSlot applies the per-slot bookkeeping shared by both drivers. Under
+// a fault hook only the real (pre-jammer) transmitters count as
+// transmissions; observers still see the full perturbed transmit set.
 func (e *Engine) finishSlot(slot int64, receptions []sinr.Reception) {
-	e.stats.Transmissions += int64(len(e.txScratch))
+	tx := len(e.txScratch)
+	if e.faults != nil {
+		tx = e.realTx
+	}
+	e.stats.Transmissions += int64(tx)
 	e.stats.Slots++
 	for _, o := range e.observers {
 		o.OnSlot(slot, e.txScratch, receptions)

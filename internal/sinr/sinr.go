@@ -278,6 +278,17 @@ type ChannelEvaluator interface {
 	// slice is indexed by node id, has length NumNodes(), and is only
 	// guaranteed valid until the next SlotReceptions call (implementations
 	// may reuse it as scratch); callers that retain it must copy.
+	//
+	// Slot-input perturbation contract: the transmitter list need not come
+	// from protocol automata — a fault layer (sim.FaultHook, internal/fault)
+	// may append adversarially injected ids before evaluation. Injected
+	// transmitters are physically indistinguishable from real ones: they
+	// contribute interference at every receiver and are half-duplex (an
+	// injected node decodes nothing that slot). Every id must be a valid
+	// node index; duplicates are legal and evaluate like a single
+	// transmission by that node. Callers may mutate the returned slice
+	// (e.g. scrubbing entries to Sender = -1) — implementations reset every
+	// entry on the next call.
 	SlotReceptions(transmitters []int) []Reception
 }
 

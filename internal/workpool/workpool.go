@@ -40,7 +40,9 @@
 package workpool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -52,6 +54,27 @@ import (
 // only writes state owned by its range or its worker.
 type Task interface {
 	RunChunk(lo, hi, worker int)
+}
+
+// PanicError is a panic recovered on a pool worker. A panic inside a chunk
+// must not kill the process from a helper goroutine (which would skip every
+// deferred handler on the caller's stack), so the pool recovers it, lets
+// the remaining chunks finish, and re-raises the first panic — wrapped in a
+// PanicError carrying the original value and the panicking goroutine's
+// stack — on the owning goroutine at the next rendezvous (Run return or
+// session End). Only the first panic is kept; later ones are dropped.
+type PanicError struct {
+	// Value is the original panic value.
+	Value interface{}
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+	// Worker is the worker index whose chunk panicked.
+	Worker int
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("workpool: worker %d panicked: %v", e.Worker, e.Value)
 }
 
 // sessionSpins bounds how many scheduler yields a session participant
@@ -96,7 +119,8 @@ type state struct {
 	pTask       Task
 	pN          int
 	pChunk      int
-	parked      []int32 // per-helper: 1 while parked at a session barrier
+	panicked    atomic.Pointer[PanicError] // first chunk panic, re-raised at rendezvous
+	parked      []int32                    // per-helper: 1 while parked at a session barrier
 	leaderPark  int32
 	leaderWake  chan struct{}
 }
@@ -129,6 +153,31 @@ func (s *state) shutdown() {
 	s.stopOnce.Do(func() { close(s.stop) })
 }
 
+// runChunk executes one chunk under a panic guard: the first panic across
+// the pool's chunks is captured (value, stack, worker) for re-raising at
+// the rendezvous; the chunk is abandoned but the worker survives to take
+// its next phase, so the WaitGroup and session barriers stay balanced.
+func (s *state) runChunk(t Task, lo, hi, worker int) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panicked.CompareAndSwap(nil, &PanicError{
+				Value:  v,
+				Stack:  debug.Stack(),
+				Worker: worker,
+			})
+		}
+	}()
+	t.RunChunk(lo, hi, worker)
+}
+
+// rethrow re-raises the first captured chunk panic on the calling
+// goroutine, clearing it so the pool remains usable if the caller recovers.
+func (s *state) rethrow() {
+	if pe := s.panicked.Swap(nil); pe != nil {
+		panic(pe)
+	}
+}
+
 // Close parks no more: it signals every helper goroutine to exit. The pool
 // must not be used afterwards. Close is idempotent and safe to call on a
 // pool whose helpers were never spawned.
@@ -159,7 +208,7 @@ func (s *state) grow(k int) {
 				if hi > s.n {
 					hi = s.n
 				}
-				s.task.RunChunk(lo, hi, w)
+				s.runChunk(s.task, lo, hi, w)
 				s.wg.Done()
 			}
 		}()
@@ -206,9 +255,10 @@ func (p *Pool) Run(n, workers int, t Task) {
 	for i := 0; i < helpers; i++ {
 		s.wake[i] <- struct{}{}
 	}
-	t.RunChunk(0, chunk, 0)
+	s.runChunk(t, 0, chunk, 0)
 	s.wg.Wait()
 	s.task = nil
+	s.rethrow()
 	// The Pool header must stay reachable for the whole Run: its runtime
 	// cleanup closes stop, and a helper with both a buffered wake signal
 	// and a closed stop channel may exit without running its chunk.
@@ -259,6 +309,7 @@ func (p *Pool) End() {
 	s.wg.Wait()
 	s.sessDone = false
 	s.sessMode = false
+	s.rethrow()
 	runtime.KeepAlive(p)
 }
 
@@ -302,7 +353,7 @@ func (s *state) sessRun(n, workers int, t Task) {
 	} else {
 		s.wakeParked()
 	}
-	t.RunChunk(0, chunk, 0)
+	s.runChunk(t, 0, chunk, 0)
 	s.awaitArrived()
 	s.pTask = nil
 }
@@ -361,7 +412,7 @@ func (s *state) helperSession(w int, wake chan struct{}) bool {
 			if hi > s.pN {
 				hi = s.pN
 			}
-			s.pTask.RunChunk(lo, hi, w)
+			s.runChunk(s.pTask, lo, hi, w)
 		}
 		if s.arrived.Add(1) == int64(s.sessHelpers) &&
 			atomic.CompareAndSwapInt32(&s.leaderPark, 1, 0) {
