@@ -45,6 +45,7 @@ func run() int {
 		seed    = flag.Uint64("seed", 1, "random seed for deployments and simulations")
 		trials  = flag.Int("trials", 0, "repetitions per data point (0 = per-experiment default)")
 		workers = flag.Int("workers", 0, "concurrent trial workers (0 = GOMAXPROCS, 1 = sequential; tables are identical at any count)")
+		batch   = flag.Int("batch", 0, "engine micro-batch size in slots (0 = auto; tables are identical at any value)")
 		outPath = flag.String("o", "", "also write the tables to this file")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func run() int {
 
 	cfg := exp.Config{
 		Seed: *seed, Trials: *trials, Quick: *quick, Workers: *workers,
-		Interrupt: interrupted.Load,
+		Batch: *batch, Interrupt: interrupted.Load,
 	}
 
 	status := 0

@@ -36,6 +36,17 @@
 //     where the crossover would decline it, and the same serial workload
 //     with a zero-fault injector installed (engine_step_faults), which pins
 //     the fault layer's dispatch cost to healthy simulations;
+//   - the batched executor (engine_run_batch): the identical pinned
+//     fused-parallel workload driven slot-at-a-time via Engine.Step (one
+//     workpool session per slot) against Engine.RunBatch's 64-slot
+//     micro-batches (one session per batch), at n = 2000 and n = 5000,
+//     with a per-phase breakdown of the sequential step (tick / evaluate /
+//     receive ns per slot) measured in a separate profiled pass so the
+//     headline numbers stay clean;
+//   - the blocked (SIMD-friendly) kernel restructurings against the scalar
+//     loops they replaced, on the production entry points: the matrix
+//     totals gather (4 receivers per pass, breaking the loop-carried FP
+//     add chain) and the power-column fill;
 //   - the pow-free path-loss kernel (sinr.Params.ReceivedPower with its
 //     integer-α multiplication fast paths plus the Sqrt distance) against
 //     the pre-rewrite math.Pow+math.Hypot arithmetic, per fast-pathed
@@ -51,8 +62,12 @@
 // boundsFullMinSpeedup (both sides short-circuit on the half-duplex
 // early-out, so a real gap means a tier is paying setup cost before
 // declining), the zero-fault injector may not slow the serial engine step
-// beyond faultHookMaxOverhead, and the sharded evaluator's measured
-// bytes/node must stay within sinr.ShardBytesPerNodeBudget.
+// beyond faultHookMaxOverhead, the batched executor must not lose to the
+// slot-at-a-time Step loop (batchRunMinSpeedup) and must stay
+// allocation-free in steady state, the blocked matrix gather must beat its
+// scalar predecessor by at least blockedGatherMinSpeedup, and the sharded
+// evaluator's measured bytes/node must stay within
+// sinr.ShardBytesPerNodeBudget.
 //
 // With -compare FILE the fresh measurements are additionally checked
 // against a previously committed report on machine-invariant quantities:
@@ -334,6 +349,60 @@ type stepCase struct {
 	Pinned      bool    `json:"pinned,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// TickNsPerSlot, EvalNsPerSlot and RecvNsPerSlot split the sequential
+	// driver's slot into its three phases (node ticks, SINR evaluation,
+	// frame deliveries + observers). They come from a separate profiled
+	// pass (sim.Config.Profile) over the same workload, so the time.Now
+	// instrumentation never pollutes NsPerOp, and they are set only on the
+	// hook-free sequential cases — the profiled driver is sequential-only.
+	TickNsPerSlot float64 `json:"tick_ns_per_slot,omitempty"`
+	EvalNsPerSlot float64 `json:"eval_ns_per_slot,omitempty"`
+	RecvNsPerSlot float64 `json:"recv_ns_per_slot,omitempty"`
+}
+
+// batchCase is one batched-executor measurement: the identical pinned
+// fused-parallel engine workload driven slot-at-a-time via Engine.Step —
+// one workpool session (helper wake + park) per slot — and via
+// Engine.RunBatch, which keeps one session open across the whole
+// micro-batch. The two executions are bit-identical (pinned by the
+// differential suite in internal/sim), so the ratio isolates the
+// per-slot session overhead the batch amortises.
+type batchCase struct {
+	Name string `json:"name"`
+	// Nodes is the deployment size; TxPerSlot the mean transmitter count;
+	// Batch the micro-batch size the Run side executes per op.
+	Nodes     int     `json:"nodes"`
+	TxPerSlot float64 `json:"tx_per_slot"`
+	Batch     int     `json:"batch"`
+	// StepNsPerSlot is the slot-at-a-time cost (one Engine.Step op);
+	// BatchNsPerSlot the RunBatch cost divided by the batch size.
+	StepNsPerSlot     float64 `json:"step_ns_per_slot"`
+	StepAllocsPerSlot int64   `json:"step_allocs_per_slot"`
+	BatchNsPerSlot    float64 `json:"batch_ns_per_slot"`
+	// BatchAllocsPerOp counts allocations per whole RunBatch op (not per
+	// slot); the within-run gate pins it to zero.
+	BatchAllocsPerOp int64 `json:"batch_allocs_per_op"`
+	// SpeedupVsStep is StepNsPerSlot / BatchNsPerSlot.
+	SpeedupVsStep float64 `json:"speedup_vs_step"`
+}
+
+// blockedCase is one blocked-kernel measurement: a production hot loop
+// restructured into 4-wide receiver blocks against the scalar loop it
+// replaced, over the identical inputs. The two are bit-identical in result
+// (pinned by the kernel tests in internal/sinr), so the ratio is pure
+// instruction-scheduling gain.
+type blockedCase struct {
+	Name string `json:"name"`
+	// Nodes is the workload size; Transmitters the gather's |tx| (absent
+	// for the column fill, which has no transmitter set).
+	Nodes        int `json:"nodes"`
+	Transmitters int `json:"transmitters,omitempty"`
+	// Scalar and Blocked are the per-op cost of the replaced scalar loop
+	// and the shipped blocked kernel.
+	ScalarNsPerOp  float64 `json:"scalar_ns_per_op"`
+	BlockedNsPerOp float64 `json:"blocked_ns_per_op"`
+	// SpeedupVsScalar is ScalarNsPerOp / BlockedNsPerOp.
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
 }
 
 // kernelCase is one path-loss kernel measurement: the pow-free arithmetic
@@ -356,15 +425,17 @@ type kernelCase struct {
 
 // benchReport is the top-level BENCH_macbench.json document.
 type benchReport struct {
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	Seed        uint64       `json:"seed"`
-	Cases       []benchCase  `json:"cases"`
-	SparseCases []sparseCase `json:"sparse_cases"`
-	BoundsCases []boundsCase `json:"bounds_cases"`
-	ShardCases  []shardCase  `json:"shard_cases,omitempty"`
-	ChurnCases  []churnCase  `json:"churn_cases"`
-	StepCases   []stepCase   `json:"step_cases"`
-	KernelCases []kernelCase `json:"kernel_cases,omitempty"`
+	GoMaxProcs   int           `json:"gomaxprocs"`
+	Seed         uint64        `json:"seed"`
+	Cases        []benchCase   `json:"cases"`
+	SparseCases  []sparseCase  `json:"sparse_cases"`
+	BoundsCases  []boundsCase  `json:"bounds_cases"`
+	ShardCases   []shardCase   `json:"shard_cases,omitempty"`
+	ChurnCases   []churnCase   `json:"churn_cases"`
+	StepCases    []stepCase    `json:"step_cases"`
+	BatchCases   []batchCase   `json:"batch_cases,omitempty"`
+	BlockedCases []blockedCase `json:"blocked_cases,omitempty"`
+	KernelCases  []kernelCase  `json:"kernel_cases,omitempty"`
 }
 
 // benchFile is where runJSONBench writes its report by default.
@@ -419,6 +490,36 @@ const (
 const (
 	faultHookMaxOverhead = 1.05
 	faultHookRounds      = 5
+)
+
+// batchRunMinSpeedup is the within-run gate on the batched executor: per
+// slot, Engine.RunBatch on the pinned fused-parallel workload may never be
+// slower than the slot-at-a-time Engine.Step loop — batching only removes
+// per-slot session overhead (helper wake + park), it adds no per-slot work.
+// The absolute win depends on how expensive a wake is on the host (it is
+// largest on few-core runners where helpers contend with the leader), so
+// the gate only pins the sign; the measured speedup is reported, not
+// gated, beyond that. Both sides are re-measured in interleaved rounds and
+// judged on per-side minima, like bounds_full. The batch side must also
+// stay allocation-free across a whole micro-batch.
+const (
+	batchRunMinSpeedup = 1.0
+	batchRunRounds     = 5
+)
+
+// blockedGatherMinSpeedup is the within-run gate on the blocked matrix
+// totals gather: processing 4 receivers per transmitter pass breaks the
+// loop-carried floating-point add chain (one ~4-cycle add latency per
+// element scalar, four independent chains blocked), a microarchitectural
+// win that exists on any out-of-order host, so the gate demands a real
+// margin. The column fill's scalar loop already had independent
+// iterations, so its blocked form is gated only to not regress
+// (blockedFillMinSpeedup). Judged on per-side minima over interleaved
+// rounds, as above.
+const (
+	blockedGatherMinSpeedup = 1.15
+	blockedFillMinSpeedup   = 0.95
+	blockedKernelRounds     = 5
 )
 
 // benchSlot measures one evaluator configuration over a fixed transmitter
@@ -746,6 +847,66 @@ func runJSONBench(seed uint64, outPath, comparePath, summaryPath string, largeMo
 	fmt.Printf("%-23s n=%-5d k=%-6.1f %12.0f ns/op (%d allocs)\n",
 		fc.Name, fc.Nodes, fc.TxPerSlot, fc.NsPerOp, fc.AllocsPerOp)
 
+	// Per-phase breakdown of the sequential step at both deployment sizes,
+	// attached to the hook-free sequential cases above. Measured in a
+	// separate profiled pass (see benchEnginePhases) so the timed numbers
+	// stay instrumentation-free.
+	for _, n := range []int{2000, 5000} {
+		prof, err := benchEnginePhases(seed, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+			return 1
+		}
+		if prof.Slots == 0 {
+			fmt.Fprintf(os.Stderr, "macbench: phase profile at n=%d recorded no slots\n", n)
+			return 1
+		}
+		slots := float64(prof.Slots)
+		tick, eval, recv := float64(prof.TickNs)/slots, float64(prof.EvalNs)/slots, float64(prof.RecvNs)/slots
+		for i := range report.StepCases {
+			c := &report.StepCases[i]
+			if c.Parallel || c.Nodes != n || c.Name == "engine_step_faults" {
+				continue
+			}
+			c.TickNsPerSlot, c.EvalNsPerSlot, c.RecvNsPerSlot = tick, eval, recv
+		}
+		fmt.Printf("%-23s n=%-5d tick %6.0f ns/slot  eval %8.0f ns/slot  recv %6.0f ns/slot\n",
+			"engine_phases", n, tick, eval, recv)
+	}
+
+	// The batched executor vs the slot-at-a-time Step loop on the pinned
+	// fused-parallel workload, gated within-run (batchRunMinSpeedup, zero
+	// steady-state allocations per micro-batch).
+	for _, sc := range []struct {
+		name string
+		n    int
+	}{
+		{"engine_run_batch", 2000},
+		{"engine_run_batch_5k", 5000},
+	} {
+		c, err := benchEngineRunBatch(sc.name, seed, sc.n, int(sim.DefaultBatchSlots))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+			return 1
+		}
+		report.BatchCases = append(report.BatchCases, c)
+		fmt.Printf("%-23s n=%-5d b=%-4d step %9.0f ns/slot  batch %9.0f ns/slot (%d allocs/batch)  speedup %.2fx\n",
+			c.Name, c.Nodes, c.Batch, c.StepNsPerSlot, c.BatchNsPerSlot, c.BatchAllocsPerOp, c.SpeedupVsStep)
+	}
+
+	// The blocked kernel restructurings vs their scalar predecessors,
+	// gated within-run (blockedGatherMinSpeedup / blockedFillMinSpeedup).
+	for _, bench := range []func(uint64) (blockedCase, error){benchBlockedGather, benchBlockedFill} {
+		c, err := bench(seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macbench: %v\n", err)
+			return 1
+		}
+		report.BlockedCases = append(report.BlockedCases, c)
+		fmt.Printf("%-23s n=%-5d k=%-4d scalar %9.0f ns/op  blocked %9.0f ns/op  speedup %.2fx\n",
+			c.Name, c.Nodes, c.Transmitters, c.ScalarNsPerOp, c.BlockedNsPerOp, c.SpeedupVsScalar)
+	}
+
 	// Pow-free path-loss kernel vs the pre-rewrite math.Pow + math.Hypot
 	// arithmetic, per fast-pathed exponent. The α = 2 entry is only
 	// reachable through Params directly (channel validation requires
@@ -815,6 +976,12 @@ func writeSummary(path, baselinePath string, fresh benchReport) error {
 				for _, c := range base.ChurnCases {
 					baseline[c.Name] = c.SpeedupVsRebuild
 				}
+				for _, c := range base.BatchCases {
+					baseline[c.Name] = c.SpeedupVsStep
+				}
+				for _, c := range base.BlockedCases {
+					baseline[c.Name] = c.SpeedupVsScalar
+				}
 				for _, c := range base.KernelCases {
 					baseline[c.Name] = c.SpeedupVsPow
 				}
@@ -857,8 +1024,21 @@ func writeSummary(path, baselinePath string, fresh benchReport) error {
 			c.Name, c.Nodes, c.Changed, c.ApplyNsPerOp, c.ApplyAllocsPerOp, c.SpeedupVsRebuild, ratioCell(c.Name, c.SpeedupVsRebuild))
 	}
 	for _, c := range fresh.StepCases {
+		label := c.Name
+		if c.TickNsPerSlot > 0 || c.EvalNsPerSlot > 0 || c.RecvNsPerSlot > 0 {
+			label = fmt.Sprintf("%s (tick %.0f / eval %.0f / recv %.0f ns)",
+				c.Name, c.TickNsPerSlot, c.EvalNsPerSlot, c.RecvNsPerSlot)
+		}
 		fmt.Fprintf(&b, "| %s | %d | %.1f | %.0f | %d | — | — | — |\n",
-			c.Name, c.Nodes, c.TxPerSlot, c.NsPerOp, c.AllocsPerOp)
+			label, c.Nodes, c.TxPerSlot, c.NsPerOp, c.AllocsPerOp)
+	}
+	for _, c := range fresh.BatchCases {
+		fmt.Fprintf(&b, "| %s (Run b=%d vs Step, per slot) | %d | %.1f | %.0f | %d | %.2fx | %s |\n",
+			c.Name, c.Batch, c.Nodes, c.TxPerSlot, c.BatchNsPerSlot, c.BatchAllocsPerOp, c.SpeedupVsStep, ratioCell(c.Name, c.SpeedupVsStep))
+	}
+	for _, c := range fresh.BlockedCases {
+		fmt.Fprintf(&b, "| %s (blocked vs scalar) | %d | %d | %.0f | 0 | %.2fx | %s |\n",
+			c.Name, c.Nodes, c.Transmitters, c.BlockedNsPerOp, c.SpeedupVsScalar, ratioCell(c.Name, c.SpeedupVsScalar))
 	}
 	for _, c := range fresh.KernelCases {
 		fmt.Fprintf(&b, "| %s (fast vs pow) | — | %d | %.0f | 0 | %.1fx | %s |\n",
@@ -985,6 +1165,233 @@ func benchEngineStepFaults(seed uint64) (stepCase, error) {
 			faults.NsPerOp, plain.NsPerOp, faultHookMaxOverhead)
 	}
 	return faults, nil
+}
+
+// benchEnginePhases measures the sequential driver's per-phase split on
+// the benchEngineStep workload: a fresh engine with sim.Config.Profile
+// installed runs phaseProfileSlots slots after warm-up, and the accumulated
+// tick / evaluate / receive wall clock is divided back to ns per slot. A
+// separate engine is used on purpose — the profiled driver brackets every
+// phase with time.Now, and that instrumentation must not leak into the
+// headline NsPerOp of the timed cases.
+func benchEnginePhases(seed uint64, n int) (sim.PhaseStats, error) {
+	const phaseProfileSlots = 2048
+	ch, _, err := sinr.SparseBenchWorkload(n, seed)
+	if err != nil {
+		return sim.PhaseStats{}, err
+	}
+	kind := sim.RegisterFrameKind("macbench.step")
+	txPerSlot := math.Sqrt(float64(n))
+	nodes := make([]sim.Node, n)
+	for i := range nodes {
+		nodes[i] = &stepBenchNode{p: txPerSlot / float64(n), kind: kind}
+	}
+	fast := sinr.NewFastChannel(ch)
+	defer fast.Close()
+	var prof sim.PhaseStats
+	eng, err := sim.NewEngine(ch, nodes, sim.Config{
+		Seed: seed, Workers: 1, Evaluator: fast, Profile: &prof,
+	})
+	if err != nil {
+		return sim.PhaseStats{}, err
+	}
+	eng.Run(64, nil) // warm pool, buffers and caches
+	prof = sim.PhaseStats{}
+	eng.Run(phaseProfileSlots, nil)
+	return prof, nil
+}
+
+// benchEngineRunBatch measures the batched executor against the
+// slot-at-a-time Step loop on the benchEngineStep workload with the fused
+// parallel driver pinned on: the Step side pays one workpool session
+// (helper wake + park) per slot, the RunBatch side one per batch-slot
+// micro-batch. Each side gets its own engine so both are measured in
+// steady state; the executions are bit-identical regardless (the
+// differential suite in internal/sim pins that), so node-state divergence
+// between the two engines cannot skew the comparison. The
+// batchRunMinSpeedup gate and the zero-alloc check are enforced here, on
+// per-side minima over up to batchRunRounds interleaved rounds.
+func benchEngineRunBatch(name string, seed uint64, n, batch int) (batchCase, error) {
+	buildEngine := func(batchSize int) (*sim.Engine, func(), error) {
+		ch, _, err := sinr.SparseBenchWorkload(n, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		kind := sim.RegisterFrameKind("macbench.step")
+		txPerSlot := math.Sqrt(float64(n))
+		nodes := make([]sim.Node, n)
+		for i := range nodes {
+			nodes[i] = &stepBenchNode{p: txPerSlot / float64(n), kind: kind}
+		}
+		fast := sinr.NewFastChannel(ch)
+		eng, err := sim.NewEngine(ch, nodes, sim.Config{
+			Seed: seed, Parallel: true, Workers: 4, PinDriver: true,
+			Batch: batchSize, Evaluator: fast,
+		})
+		if err != nil {
+			fast.Close()
+			return nil, nil, err
+		}
+		return eng, fast.Close, nil
+	}
+	// measure times one round of both sides: the per-slot Step loop and the
+	// batched Run, freshly built so every round starts from the same state.
+	measure := func() (step, batched testing.BenchmarkResult, err error) {
+		engS, closeS, err := buildEngine(1)
+		if err != nil {
+			return step, batched, err
+		}
+		engS.Run(64, nil)
+		step = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engS.Step()
+			}
+		})
+		closeS()
+		engB, closeB, err := buildEngine(batch)
+		if err != nil {
+			return step, batched, err
+		}
+		engB.Run(int64(2*batch), nil)
+		batched = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engB.RunBatch(batch)
+			}
+		})
+		closeB()
+		return step, batched, nil
+	}
+	step, batched, err := measure()
+	if err != nil {
+		return batchCase{}, err
+	}
+	stepNs, batchNs := float64(step.NsPerOp()), float64(batched.NsPerOp())
+	stepAllocs, batchAllocs := step.AllocsPerOp(), batched.AllocsPerOp()
+	perSlot := func() float64 { return batchNs / float64(batch) }
+	for round := 1; round < batchRunRounds && stepNs < perSlot()*batchRunMinSpeedup; round++ {
+		s, b, err := measure()
+		if err != nil {
+			return batchCase{}, err
+		}
+		if float64(s.NsPerOp()) < stepNs {
+			stepNs, stepAllocs = float64(s.NsPerOp()), s.AllocsPerOp()
+		}
+		if float64(b.NsPerOp()) < batchNs {
+			batchNs, batchAllocs = float64(b.NsPerOp()), b.AllocsPerOp()
+		}
+	}
+	c := batchCase{
+		Name:              name,
+		Nodes:             n,
+		TxPerSlot:         math.Sqrt(float64(n)),
+		Batch:             batch,
+		StepNsPerSlot:     stepNs,
+		StepAllocsPerSlot: stepAllocs,
+		BatchNsPerSlot:    perSlot(),
+		BatchAllocsPerOp:  batchAllocs,
+	}
+	if c.BatchNsPerSlot > 0 {
+		c.SpeedupVsStep = c.StepNsPerSlot / c.BatchNsPerSlot
+	}
+	if c.BatchAllocsPerOp != 0 {
+		return batchCase{}, fmt.Errorf(
+			"%s gate failed: RunBatch(%d) allocates %d objects per batch in steady state, want 0",
+			name, batch, c.BatchAllocsPerOp)
+	}
+	if c.SpeedupVsStep < batchRunMinSpeedup {
+		return batchCase{}, fmt.Errorf(
+			"%s gate failed: batched executor %.0f ns/slot vs Step loop %.0f ns/slot (%.2fx < %.2fx) — batching is adding per-slot cost instead of amortising session overhead",
+			name, c.BatchNsPerSlot, c.StepNsPerSlot, c.SpeedupVsStep, batchRunMinSpeedup)
+	}
+	return c, nil
+}
+
+// benchBlockedKernel measures one blocked-vs-scalar kernel pair through the
+// exported bench entry points, enforcing minSpeedup on per-side minima over
+// up to blockedKernelRounds interleaved rounds.
+func benchBlockedKernel(c blockedCase, minSpeedup float64, run func(blocked bool) testing.BenchmarkResult) (blockedCase, error) {
+	scalar := float64(run(false).NsPerOp())
+	blocked := float64(run(true).NsPerOp())
+	for round := 1; round < blockedKernelRounds && scalar < blocked*minSpeedup; round++ {
+		if s := float64(run(false).NsPerOp()); s < scalar {
+			scalar = s
+		}
+		if b := float64(run(true).NsPerOp()); b < blocked {
+			blocked = b
+		}
+	}
+	c.ScalarNsPerOp = scalar
+	c.BlockedNsPerOp = blocked
+	if c.BlockedNsPerOp > 0 {
+		c.SpeedupVsScalar = c.ScalarNsPerOp / c.BlockedNsPerOp
+	}
+	if c.SpeedupVsScalar < minSpeedup {
+		return blockedCase{}, fmt.Errorf(
+			"%s gate failed: blocked kernel %.0f ns/op vs scalar %.0f ns/op (%.2fx < %.2fx)",
+			c.Name, c.BlockedNsPerOp, c.ScalarNsPerOp, c.SpeedupVsScalar, minSpeedup)
+	}
+	return c, nil
+}
+
+// benchBlockedGather measures the blocked matrix totals gather
+// (matrixTotals4, 4 receivers per transmitter pass) against the scalar
+// per-receiver sum it replaced. The workload is kernel_pathloss-style:
+// small enough that the power matrix is cache-resident (n = 512, 2 MB) and
+// dense enough that rows are scanned contiguously (every node transmits,
+// the bounds_full slot shape), so the ratio isolates the restructuring —
+// scalar pays one loop-carried FP add latency per element, blocked runs
+// four independent chains. On workloads that stream the matrix from DRAM
+// both sides are bandwidth-bound and the ratio compresses toward 1; that
+// regime is already covered by the slot-path cases above.
+func benchBlockedGather(seed uint64) (blockedCase, error) {
+	const n = 512
+	ch, _, err := sinr.BenchWorkload(n, seed)
+	if err != nil {
+		return blockedCase{}, err
+	}
+	f := sinr.NewFastChannel(ch, sinr.FastOptions{MatrixThreshold: n, SparseFactor: -1})
+	defer f.Close()
+	tx := make([]int, n)
+	rs := make([]int, n)
+	for i := range tx {
+		tx[i] = i
+		rs[i] = i
+	}
+	f.SlotReceptions(tx[:1]) // warm: materialise the power matrix
+	out := make([]float64, n)
+	c := blockedCase{Name: "blocked_gather_totals", Nodes: n, Transmitters: len(tx)}
+	return benchBlockedKernel(c, blockedGatherMinSpeedup, func(blocked bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.BenchGatherTotals(out, rs, tx, blocked)
+			}
+		})
+	})
+}
+
+// benchBlockedFill measures the blocked power-column fill (fillColumn's
+// 4-wide distance/path-loss lanes with the exponent dispatch hoisted)
+// against the scalar pairPower loop it replaced, on a grid-regime workload
+// where column fills are the cache-miss path.
+func benchBlockedFill(seed uint64) (blockedCase, error) {
+	const n = 4000
+	ch, _, err := sinr.BenchWorkload(n, seed)
+	if err != nil {
+		return blockedCase{}, err
+	}
+	f := sinr.NewFastChannel(ch)
+	defer f.Close()
+	dst := make([]float64, n)
+	c := blockedCase{Name: "blocked_fill_column", Nodes: n}
+	return benchBlockedKernel(c, blockedFillMinSpeedup, func(blocked bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.BenchFillColumn(dst, i%16, blocked)
+			}
+		})
+	})
 }
 
 // kernelSink defeats dead-code elimination of the benchmark loops below.
@@ -1235,6 +1642,12 @@ func gateCases(r benchReport) []gateCase {
 	}
 	for _, c := range r.StepCases {
 		out = append(out, gateCase{"step", c.Name, "", 0, "", c.AllocsPerOp})
+	}
+	for _, c := range r.BatchCases {
+		out = append(out, gateCase{"batch", c.Name, "batch-vs-step", c.SpeedupVsStep, "batch", c.BatchAllocsPerOp})
+	}
+	for _, c := range r.BlockedCases {
+		out = append(out, gateCase{"blocked", c.Name, "blocked-vs-scalar", c.SpeedupVsScalar, "", 0})
 	}
 	for _, c := range r.KernelCases {
 		out = append(out, gateCase{"kernel", c.Name, "fast-vs-pow", c.SpeedupVsPow, "", 0})

@@ -129,6 +129,49 @@
 // (internal/sinr's kernel differential tests pin this), and sparse/bounds
 // threshold comparisons stay in the squared-distance domain.
 //
+// # Execution model
+//
+// Simulations advance in micro-batches. sim.Engine.RunBatch(b) executes up
+// to b slots as one unit, and Run slices its horizon into micro-batches of
+// sim.Config.Batch slots (default sim.DefaultBatchSlots; Batch = 1 is the
+// slot-at-a-time loop). Under the fused parallel driver a whole micro-batch
+// runs inside a single workpool session: the helpers are woken once per
+// batch and the phase barrier advances through all 3·b tick/evaluate/
+// receive phases before they park, amortising the per-slot wake/park the
+// per-slot driver pays (the engine_run_batch macbench cases gate that
+// batching never loses to the Step loop and stays allocation-free). The
+// adaptive serial/parallel probe is consulted once per batch (probe slots
+// still run one at a time, so the calibration schedule is byte-identical
+// to the Step loop's).
+//
+// Batching is invisible to everything observing the simulation. Observers,
+// recorders, the fault hook, stat counters and stop-condition polls fire
+// between slots in exact slot order — inside an open session the helpers
+// are spinning or parked at the barrier while the leader runs the serial
+// interludes — and Engine.Slot reads consistently at every callback. A
+// Run(deadline, stop) stop condition is polled before every slot, so a
+// graceful shutdown (cmd/sinrsim's first SIGINT) lands within the current
+// micro-batch, never after it. What a callback may not do is re-enter the
+// engine: Step/Run/RunBatch panic from inside a running batch, and
+// ApplyEpoch/Reset return an error — state mutations are flush points that
+// must land on the batch boundary, after the driver has left the session.
+// The whole contract is differential: TestRunBatchBitIdentity holds batch
+// sizes {1, 7, 64} bit-identical to the Step loop across drivers, fault
+// plans and mid-run churn epochs.
+//
+// The kernels under a batch are restructured SIMD-friendly without
+// changing a single emitted bit: the matrix totals gather, the grid
+// column fill, the bounds-tier per-cell aggregation and the sharded
+// regime's remote-aggregate sums all process four receivers (or receiver
+// cells) per pass over the transmitter data. Blocking is across receivers
+// only — each receiver's interference sum still adds the same terms in
+// the same tx order with one accumulator, so the float result is
+// bit-identical to the scalar loop (remainder lanes run the scalar code);
+// what the restructuring buys is four independent FP add chains instead
+// of one loop-carried one (blocked_gather_totals measures it, gated
+// ≥ 1.15× within every macbench run), and the k·ulp certificate slack of
+// the bounds/shard tiers is computed exactly as before.
+//
 // # Dynamic deployments
 //
 // Deployments are no longer frozen at construction: topology.Deployment
@@ -237,15 +280,24 @@
 // sharded regime vs the per-pair dense scan at n = 100k (and an n = 10⁶
 // smoke behind -large) with its GC-settled rss_bytes/bytes_per_node heap
 // footprint, steady-state Engine.Step ns/op and allocs/op under the
-// sequential, adaptive and pinned-fused drivers at n ∈ {2000, 5000}, and
-// the pow-free path-loss kernel vs math.Pow — to BENCH_macbench.json for
-// cross-PR tracking. Within every run it gates that the adaptive driver
-// never loses to the sequential one beyond 1.2× at n ≥ 5000, that the
+// sequential, adaptive and pinned-fused drivers at n ∈ {2000, 5000} with a
+// tick/evaluate/receive per-phase breakdown of the sequential step, the
+// batched executor vs the Step loop (engine_run_batch), the blocked
+// kernels vs their scalar predecessors (blocked_*), and the pow-free
+// path-loss kernel vs math.Pow — to BENCH_macbench.json for cross-PR
+// tracking. Within every run it gates that the adaptive driver never
+// loses to the sequential one beyond 1.2× at n ≥ 5000, that the
 // all-transmit bounds_full case stays at ≥ 0.95× the pinned dense scan,
-// and that the sharded cases stay inside sinr.ShardBytesPerNodeBudget;
-// cmd/macbench -json -compare FILE additionally fails on gross (beyond 2×)
-// regressions against a committed baseline. CI runs that gate on every
-// push, renders the per-case table into the job summary and uploads the
-// fresh report as an artifact. cmd/macbench -cpuprofile and -memprofile
-// capture pprof profiles from the same binary the gate runs.
+// that RunBatch never loses to the Step loop and allocates nothing per
+// micro-batch, that the blocked matrix gather beats the scalar chain by
+// ≥ 1.15×, and that the sharded cases stay inside
+// sinr.ShardBytesPerNodeBudget; cmd/macbench -json -compare FILE
+// additionally fails on gross (beyond 2×) regressions against a committed
+// baseline. All absolute numbers and speedups in the committed baseline
+// were measured on the single-CPU CI runner (the report records its
+// GOMAXPROCS); the gates therefore judge only within-run ratios, which
+// travel across hosts. CI runs that gate on every push, renders the
+// per-case table into the job summary and uploads the fresh report as an
+// artifact. cmd/macbench -cpuprofile and -memprofile capture pprof
+// profiles from the same binary the gate runs.
 package sinrmac

@@ -1,0 +1,418 @@
+package sim
+
+// Tests for batched multi-slot execution (Run/RunBatch): bit-identity to
+// the slot-at-a-time Step loop across batch sizes, drivers, fault plans and
+// churn epochs; per-slot observer/hook ordering; stop polls inside a
+// micro-batch; and the mid-batch flush guards.
+
+import (
+	"fmt"
+	"testing"
+
+	"sinrmac/internal/geom"
+	"sinrmac/internal/sinr"
+)
+
+// crashJamHook is a minimal deterministic crash+jam FaultHook, hand-rolled
+// because internal/fault imports this package. Node 0 crash-stops at
+// crashSlot (inert, receptions scrubbed), and the highest-id node jams
+// every third slot (injected transmitter, its decodes scrubbed).
+type crashJamHook struct {
+	crashSlot int64
+	n         int     // deployment size, tracked per slot (follows churn)
+	inert     []bool  // reused SlotStart bitmap
+	slots     []int64 // SlotStart call order, for the ordering property
+}
+
+func (h *crashJamHook) SlotStart(slot int64, n int) []bool {
+	h.n = n
+	h.slots = append(h.slots, slot)
+	if slot < h.crashSlot {
+		return nil
+	}
+	if cap(h.inert) < n {
+		h.inert = make([]bool, n)
+	}
+	h.inert = h.inert[:n]
+	for i := range h.inert {
+		h.inert[i] = false
+	}
+	h.inert[0] = true
+	return h.inert
+}
+
+func (h *crashJamHook) PerturbTransmitters(slot int64, tx []int) []int {
+	if slot%3 != 0 {
+		return tx
+	}
+	jam := h.n - 1
+	for _, id := range tx {
+		if id == jam {
+			return tx
+		}
+	}
+	return append(tx, jam)
+}
+
+func (h *crashJamHook) FilterReceptions(slot int64, recs []sinr.Reception) {
+	if slot >= h.crashSlot && recs[0].Sender >= 0 {
+		recs[0].Sender = -1
+	}
+	if slot%3 == 0 {
+		jam := h.n - 1
+		for i := range recs {
+			if recs[i].Sender == jam {
+				recs[i].Sender = -1
+			}
+		}
+	}
+}
+
+func (h *crashJamHook) DeliverFrame(slot int64, node int, f *Frame) *Frame { return f }
+
+func (h *crashJamHook) NodePanicked(slot int64, node int, phase string, value interface{}, stack []byte) {
+}
+
+func (h *crashJamHook) EpochApplied(delta *sinr.EpochDelta) {}
+
+func (h *crashJamHook) Reset() { h.slots = h.slots[:0]; h.n = 0 }
+
+// batchTraceRow is one slot as an observer saw it.
+type batchTraceRow struct {
+	slot    int64
+	engSlot int64 // Engine.Slot() at callback time
+	tx      []int
+	senders []int
+}
+
+// batchChurnSchedule builds the three-epoch delta schedule used by the
+// bit-identity suite over an n-node lattice: a move epoch, a swap-remove
+// plus add epoch, and a pure shrink.
+func batchChurnSchedule(n int) []*sinr.EpochDelta {
+	pos := latticePositions(n)
+	schedule := make([]*sinr.EpochDelta, 0, 3)
+	p1 := append([]geom.Point(nil), pos...)
+	p1[3] = geom.Point{X: p1[3].X + 0.7, Y: 0.5}
+	p1[7] = geom.Point{X: p1[7].X - 0.6, Y: -0.4}
+	schedule = append(schedule, &sinr.EpochDelta{OldN: n, NewN: n, Dirty: []int{3, 7}, Positions: p1})
+	p2 := append([]geom.Point(nil), p1...)
+	p2[5] = p2[n-1]
+	p2 = p2[:n-1]
+	p2 = append(p2, geom.Point{X: -2, Y: 2})
+	schedule = append(schedule, &sinr.EpochDelta{
+		OldN: n, NewN: n, Dirty: []int{5, n - 1},
+		Relabels: []sinr.Relabel{{From: n - 1, To: 5}},
+		Added:    []int{n - 1}, Removed: 1, Positions: p2,
+	})
+	p3 := append([]geom.Point(nil), p2...)
+	p3 = p3[:n-1]
+	schedule = append(schedule, &sinr.EpochDelta{OldN: n, NewN: n - 1, Removed: 1, Positions: p3})
+	return schedule
+}
+
+// batchTraceRun executes the fixed three-leg churn scenario (40 slots per
+// leg, an epoch applied between legs) and returns the full per-slot trace.
+// batch < 0 drives the engine slot-at-a-time via Step — the reference
+// execution; otherwise the legs run through Run with Config.Batch = batch.
+func batchTraceRun(t *testing.T, n int, cfg Config, fast, faults bool, batch int) ([]batchTraceRow, Stats) {
+	t.Helper()
+	ch, err := sinr.NewChannel(sinr.DefaultParams(10), latticePositions(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast {
+		cfg.Evaluator = sinr.NewFastChannel(ch)
+	}
+	if faults {
+		cfg.Faults = &crashJamHook{crashSlot: 25}
+	}
+	if batch >= 0 {
+		cfg.Batch = batch
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &randomNode{p: 0.2}
+	}
+	eng, err := NewEngine(ch, nodes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []batchTraceRow
+	eng.AddObserver(ObserverFunc(func(slot int64, tx []int, recs []sinr.Reception) {
+		row := batchTraceRow{slot: slot, engSlot: eng.Slot(), tx: append([]int(nil), tx...)}
+		row.senders = make([]int, len(recs))
+		for j, rec := range recs {
+			row.senders[j] = rec.Sender
+		}
+		trace = append(trace, row)
+	}))
+	leg := func(slots int64) {
+		if batch < 0 {
+			for i := int64(0); i < slots; i++ {
+				eng.Step()
+			}
+			return
+		}
+		if ran, _ := eng.Run(slots, nil); ran != slots {
+			t.Fatalf("Run ran %d slots, want %d", ran, slots)
+		}
+	}
+	leg(40)
+	for _, delta := range batchChurnSchedule(n) {
+		if err := eng.ApplyEpoch(delta, func(id int) Node { return &randomNode{p: 0.2} }); err != nil {
+			t.Fatal(err)
+		}
+		leg(40)
+	}
+	return trace, eng.Stats()
+}
+
+// TestRunBatchBitIdentity pins the batching contract: Run at batch sizes
+// {1, 7, 64} produces executions bit-identical to the slot-at-a-time Step
+// loop, across the sequential / pinned-fused / adaptive drivers, both
+// evaluator families, with and without a crash+jam fault plan, and with
+// mid-run ApplyEpoch flushes between Run legs.
+func TestRunBatchBitIdentity(t *testing.T) {
+	const n = 24
+	drivers := []struct {
+		name string
+		cfg  Config
+	}{
+		{"serial", Config{Seed: engineSeed, Workers: 1}},
+		{"fused4", Config{Seed: engineSeed, Parallel: true, PinDriver: true, Workers: 4}},
+		{"adaptive4", Config{Seed: engineSeed, Parallel: true, Workers: 4}},
+	}
+	for _, fast := range []bool{false, true} {
+		for _, faults := range []bool{false, true} {
+			for _, drv := range drivers {
+				name := fmt.Sprintf("fast=%v/faults=%v/%s", fast, faults, drv.name)
+				t.Run(name, func(t *testing.T) {
+					refTrace, refStats := batchTraceRun(t, n, drv.cfg, fast, faults, -1)
+					for _, batch := range []int{1, 7, 64} {
+						trace, stats := batchTraceRun(t, n, drv.cfg, fast, faults, batch)
+						if stats != refStats {
+							t.Fatalf("batch=%d: stats diverged: %+v vs %+v", batch, stats, refStats)
+						}
+						if len(trace) != len(refTrace) {
+							t.Fatalf("batch=%d: %d slots traced, want %d", batch, len(trace), len(refTrace))
+						}
+						for i := range trace {
+							got, want := trace[i], refTrace[i]
+							if got.slot != want.slot || got.engSlot != want.engSlot {
+								t.Fatalf("batch=%d slot %d: observed slot=%d engSlot=%d, want slot=%d engSlot=%d",
+									batch, i, got.slot, got.engSlot, want.slot, want.engSlot)
+							}
+							if len(got.tx) != len(want.tx) {
+								t.Fatalf("batch=%d slot %d: %d transmitters, want %d", batch, i, len(got.tx), len(want.tx))
+							}
+							for j := range got.tx {
+								if got.tx[j] != want.tx[j] {
+									t.Fatalf("batch=%d slot %d: tx[%d]=%d, want %d", batch, i, j, got.tx[j], want.tx[j])
+								}
+							}
+							for j := range got.senders {
+								if got.senders[j] != want.senders[j] {
+									t.Fatalf("batch=%d slot %d node %d: decoded %d, want %d",
+										batch, i, j, got.senders[j], want.senders[j])
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBatchObserverOrdering is the observer-semantics property test: every
+// observer and the fault hook see each slot exactly once, in slot order,
+// observers fire in registration order within a slot, and Engine.Slot() is
+// consistent (== the slot being finished) at callback time — across batch
+// sizes {1, 7, 64} and both drivers, under a crash+jam fault plan.
+func TestBatchObserverOrdering(t *testing.T) {
+	const n, slots = 32, 100
+	drivers := []struct {
+		name string
+		cfg  Config
+	}{
+		{"serial", Config{Seed: engineSeed, Workers: 1}},
+		{"fused4", Config{Seed: engineSeed, Parallel: true, PinDriver: true, Workers: 4}},
+	}
+	for _, drv := range drivers {
+		for _, batch := range []int{1, 7, 64} {
+			t.Run(fmt.Sprintf("%s/batch=%d", drv.name, batch), func(t *testing.T) {
+				ch, err := sinr.NewChannel(sinr.DefaultParams(10), latticePositions(n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				hook := &crashJamHook{crashSlot: 20}
+				cfg := drv.cfg
+				cfg.Batch = batch
+				cfg.Faults = hook
+				nodes := make([]Node, n)
+				for i := range nodes {
+					nodes[i] = &randomNode{p: 0.2}
+				}
+				eng, err := NewEngine(ch, nodes, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// firings records (observer id, slot) in callback order; the
+				// Slot() consistency check runs inside the callbacks.
+				type firing struct {
+					obs  int
+					slot int64
+				}
+				var firings []firing
+				for obs := 0; obs < 2; obs++ {
+					id := obs
+					eng.AddObserver(ObserverFunc(func(slot int64, tx []int, recs []sinr.Reception) {
+						if got := eng.Slot(); got != slot {
+							t.Errorf("observer %d at slot %d: Engine.Slot() = %d", id, slot, got)
+						}
+						firings = append(firings, firing{id, slot})
+					}))
+				}
+				if ran, _ := eng.Run(slots, nil); ran != slots {
+					t.Fatalf("ran %d slots, want %d", ran, slots)
+				}
+				if len(firings) != 2*slots {
+					t.Fatalf("%d observer firings, want %d", len(firings), 2*slots)
+				}
+				for i, f := range firings {
+					wantObs, wantSlot := i%2, int64(i/2)
+					if f.obs != wantObs || f.slot != wantSlot {
+						t.Fatalf("firing %d = observer %d slot %d, want observer %d slot %d",
+							i, f.obs, f.slot, wantObs, wantSlot)
+					}
+				}
+				if len(hook.slots) != slots {
+					t.Fatalf("hook saw %d slots, want %d", len(hook.slots), slots)
+				}
+				for i, s := range hook.slots {
+					if s != int64(i) {
+						t.Fatalf("hook SlotStart %d fired for slot %d", i, s)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunBatchStopsWithinBatch pins the graceful-shutdown property behind
+// the -batch flags: the stop condition is polled before every slot even
+// inside an open micro-batch, so Run halts within the batch the condition
+// fires in — not at its boundary.
+func TestRunBatchStopsWithinBatch(t *testing.T) {
+	for _, drv := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"serial", Config{Seed: 1, Batch: 64}},
+		{"fused", Config{Seed: 1, Batch: 64, Parallel: true, PinDriver: true, Workers: 2}},
+	} {
+		t.Run(drv.name, func(t *testing.T) {
+			ch := twoNodeChannel(t, 5)
+			sender := &beaconNode{period: 1, offset: 0}
+			listener := &beaconNode{}
+			eng, err := NewEngine(ch, []Node{sender, listener}, drv.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ran, stopped := eng.Run(100, func() bool { return len(listener.received) >= 3 })
+			if ran != 3 || !stopped {
+				t.Fatalf("Run = (%d, %v), want (3, true): stop must take effect mid-batch", ran, stopped)
+			}
+		})
+	}
+}
+
+// TestBatchFlushGuards pins the flush contract: state mutations and engine
+// re-entry from an observer inside an open batch are rejected (error for
+// ApplyEpoch/Reset, panic for Step/Run), while the same calls between
+// Run/RunBatch invocations — the natural flush points — succeed.
+func TestBatchFlushGuards(t *testing.T) {
+	const n = 8
+	ch, err := sinr.NewChannel(sinr.DefaultParams(10), latticePositions(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &randomNode{p: 0.2}
+	}
+	eng, err := NewEngine(ch, nodes, Config{Seed: 1, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var applyErr, resetErr error
+	var stepPanic, runPanic interface{}
+	probed := false
+	eng.AddObserver(ObserverFunc(func(slot int64, tx []int, recs []sinr.Reception) {
+		if slot != 2 || probed {
+			return
+		}
+		probed = true
+		applyErr = eng.ApplyEpoch(&sinr.EpochDelta{}, nil)
+		resetErr = eng.Reset(make([]Node, n), 1)
+		func() {
+			defer func() { stepPanic = recover() }()
+			eng.Step()
+		}()
+		func() {
+			defer func() { runPanic = recover() }()
+			eng.Run(1, nil)
+		}()
+	}))
+	if got := eng.RunBatch(8); got != 8 {
+		t.Fatalf("RunBatch ran %d slots, want 8", got)
+	}
+	if !probed {
+		t.Fatal("observer never probed the guards")
+	}
+	if applyErr == nil {
+		t.Error("ApplyEpoch inside a batch succeeded, want error")
+	}
+	if resetErr == nil {
+		t.Error("Reset inside a batch succeeded, want error")
+	}
+	if stepPanic == nil {
+		t.Error("Step inside a batch did not panic")
+	}
+	if runPanic == nil {
+		t.Error("Run inside a batch did not panic")
+	}
+	// Between batches the engine is flushed: Reset succeeds and replays.
+	fresh := make([]Node, n)
+	for i := range fresh {
+		fresh[i] = &randomNode{p: 0.2}
+	}
+	if err := eng.Reset(fresh, 1); err != nil {
+		t.Fatalf("Reset between batches failed: %v", err)
+	}
+	if got := eng.RunBatch(4); got != 4 {
+		t.Fatalf("RunBatch after Reset ran %d slots, want 4", got)
+	}
+}
+
+// TestRunBatchAllocFree pins the steady-state allocation contract for the
+// batched path on both drivers: after warm-up, a 64-slot micro-batch
+// allocates nothing.
+func TestRunBatchAllocFree(t *testing.T) {
+	for _, drv := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"serial", Config{Seed: engineSeed, Workers: 1, Batch: 64}},
+		{"fused4", Config{Seed: engineSeed, Parallel: true, PinDriver: true, Workers: 4, Batch: 64}},
+	} {
+		t.Run(drv.name, func(t *testing.T) {
+			_, eng := buildScenario(t, 64, 7, true, drv.cfg)
+			eng.RunBatch(256) // warm up scratch growth
+			allocs := testing.AllocsPerRun(20, func() { eng.RunBatch(64) })
+			if allocs != 0 {
+				t.Fatalf("RunBatch allocated %.1f times per 64-slot batch, want 0", allocs)
+			}
+		})
+	}
+}

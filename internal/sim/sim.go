@@ -56,6 +56,28 @@
 // committed topology epoch between slots — the evaluator patches its
 // state, surviving automata keep their protocol state and follow the
 // swap-remove relabels, and only added nodes are initialised.
+//
+// # Batched execution
+//
+// Run and RunBatch execute slots in micro-batches of Config.Batch slots:
+// on the parallel driver a whole micro-batch runs inside one fused
+// workpool session, so the helpers are woken once per batch (instead of
+// once per slot) and the phase barrier advances through 3·b phases before
+// the helpers park again. Batching changes wall clock only, never the
+// execution: observers, recorders, the fault hook's serial sections, stat
+// counters and the stop() poll all fire once per slot, in exact slot
+// order, at the same pipeline points as a slot-at-a-time Step loop — a
+// batch size of 1 is bit-identical to calling Step in a loop, and so is
+// every other batch size (TestRunBatchBitIdentity pins it across drivers,
+// worker counts, fault plans and churn epochs).
+//
+// Because observers run between slots of an open session, they must not
+// re-enter the engine: Step, Run and RunBatch panic when called from an
+// observer mid-batch, and ApplyEpoch and Reset — state mutations that
+// require a batch flush — return an error instead. Between Run/RunBatch
+// calls the batch is always flushed, so the usual call sites (applying a
+// churn epoch between Run legs, resetting for the next trial) need no
+// changes at any batch size.
 package sim
 
 import (
@@ -173,7 +195,43 @@ type Config struct {
 	// leaves the slot pipeline untouched; a hook whose plan injects nothing
 	// produces an execution bit-identical to running without one.
 	Faults FaultHook
+	// Batch is the micro-batch size used by Run and RunBatch: up to this
+	// many consecutive slots execute inside one fused workpool session, so
+	// the pool's helpers are woken once per batch instead of once per slot.
+	// Zero selects DefaultBatchSlots; one runs slot-at-a-time (exactly the
+	// Step loop). Batching never changes the execution — observers, fault
+	// hooks, stat counters and stop() polls fire per slot, in slot order,
+	// at the same pipeline points regardless of batch size — so the knob
+	// trades nothing but wall clock.
+	Batch int
+	// Profile, when non-nil, makes the sequential driver accumulate its
+	// per-phase wall clock (tick / evaluate / receive) into the pointed-to
+	// PhaseStats. Profiling adds two clock reads per phase and perturbs
+	// nothing else; it applies to the plain sequential driver only — the
+	// parallel driver's phase costs are already measured by the adaptive
+	// probe (DriverStats), and the fault-path driver is left unprofiled.
+	// cmd/macbench uses it for the per-phase breakdown columns.
+	Profile *PhaseStats
 }
+
+// PhaseStats accumulates the sequential driver's per-phase wall clock when
+// Config.Profile points at one: tick covers every Node.Tick call plus
+// transmitter collection, eval covers ChannelEvaluator.SlotReceptions, and
+// recv covers every delivery. All fields are totals in nanoseconds over
+// Slots profiled slots.
+type PhaseStats struct {
+	Slots  int64
+	TickNs int64
+	EvalNs int64
+	RecvNs int64
+}
+
+// DefaultBatchSlots is the micro-batch size Run and RunBatch use when
+// Config.Batch is zero. Large enough to amortise the per-batch session
+// wake/park and probe bookkeeping down to noise, small enough that a stop
+// condition, SIGINT poll or churn boundary is never more than a few dozen
+// slots away.
+const DefaultBatchSlots = 64
 
 // Engine drives a set of node automata over an SINR channel.
 type Engine struct {
@@ -223,6 +281,13 @@ type Engine struct {
 	realTx        int
 	panicMu       sync.Mutex
 	pendingPanics []panicRecord
+
+	// batch is the resolved micro-batch size (Config.Batch, defaulted);
+	// inBatch guards against engine re-entry from observers while a batch's
+	// workpool session is open. prof is Config.Profile.
+	batch   int
+	inBatch bool
+	prof    *PhaseStats
 
 	cal driverCal // serial/parallel crossover + phase-cost measurements
 }
@@ -383,6 +448,8 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 	}
 	e.workers = e.resolveWorkers()
 	e.rxCounts = make([]int64, e.workers)
+	e.batch = resolveBatch(cfg.Batch)
+	e.prof = cfg.Profile
 	for i := range e.frames {
 		e.frames[i].From = i
 	}
@@ -425,6 +492,9 @@ func NewEngine(channel *sinr.Channel, nodes []Node, cfg Config) (*Engine, error)
 // power-column caches) is keyed only to the immutable deployment, so it
 // carries over safely.
 func (e *Engine) Reset(nodes []Node, seed uint64) error {
+	if e.inBatch {
+		return fmt.Errorf("sim: Reset called from inside a running batch; return from Run/RunBatch first")
+	}
 	if len(nodes) != len(e.nodes) {
 		return fmt.Errorf("sim: Reset with %d nodes on a %d-node engine", len(nodes), len(e.nodes))
 	}
@@ -491,6 +561,9 @@ const churnInitLabel uint64 = 0xc402c4
 // (Seed, churn, epoch#, identity) labels, so executions remain
 // reproducible. ApplyEpoch must not be called concurrently with Step.
 func (e *Engine) ApplyEpoch(delta *sinr.EpochDelta, newNode func(id int) Node) error {
+	if e.inBatch {
+		return fmt.Errorf("sim: ApplyEpoch called from inside a running batch; return from Run/RunBatch first")
+	}
 	ap, ok := e.evaluator.(sinr.EpochApplier)
 	if !ok {
 		return fmt.Errorf("sim: evaluator %T cannot apply churn epochs", e.evaluator)
@@ -604,8 +677,13 @@ func (e *Engine) Node(id int) Node { return e.nodes[id] }
 
 // Step simulates exactly one slot. With Config.Parallel set and PinDriver
 // unset, the slot may be a timed calibration probe; the execution is
-// identical either way, only the driver (and the timing) differs.
+// identical either way, only the driver (and the timing) differs. Step must
+// not be called from an observer while a Run/RunBatch micro-batch is open
+// (the batch's workpool session is still active); doing so panics.
 func (e *Engine) Step() {
+	if e.inBatch {
+		panic("sim: Step called from inside a running batch")
+	}
 	parallel, timed := e.driverForSlot()
 	if !timed {
 		e.stepOnce(parallel)
@@ -633,9 +711,20 @@ func (e *Engine) stepOnce(parallel bool) {
 		e.stepParallel()
 	case e.faults != nil:
 		e.stepSerialFaults()
+	case e.prof != nil:
+		e.stepSerialProfiled()
 	default:
 		e.stepSerial()
 	}
+}
+
+// resolveBatch derives the effective micro-batch size from the
+// configuration.
+func resolveBatch(b int) int {
+	if b <= 0 {
+		return DefaultBatchSlots
+	}
+	return b
 }
 
 // driverForSlot decides which driver runs the next slot and whether the
@@ -673,6 +762,62 @@ func (e *Engine) driverForSlot() (parallel, timed bool) {
 	return c.useParallel, false
 }
 
+// planBatch is the batched analogue of driverForSlot: it decides the driver
+// of the next slot and how many consecutive slots (at most want) that
+// decision covers without crossing a probe-schedule boundary. Timed probe
+// slots are always planned one at a time so their measurements stay
+// per-slot, which keeps the calibration state byte-compatible with
+// interleaved Step calls. For untimed sub-batches planBatch does NOT
+// advance the window position — the caller credits the slots that actually
+// ran via calAdvance, so a batch cut short by its stop condition leaves
+// the probe schedule aligned with the slots executed.
+func (e *Engine) planBatch(want int64) (parallel, timed bool, take int64) {
+	if !e.cfg.Parallel || e.workers <= 1 {
+		return false, false, want
+	}
+	if e.cfg.PinDriver {
+		return true, false, want
+	}
+	c := &e.cal
+	pos := c.pos
+	switch {
+	case pos == 0:
+		c.serialNs, c.parallelNs = 0, 0
+		c.pos++
+		return false, true, 1
+	case pos < driverProbeSlots:
+		c.pos++
+		return false, true, 1
+	case pos < 2*driverProbeSlots:
+		c.pos++
+		return true, true, 1
+	case pos == 2*driverProbeSlots:
+		c.serialSlotNs = c.serialNs / driverProbeSlots
+		c.parallelSlotNs = c.parallelNs / driverProbeSlots
+		c.useParallel = c.parallelNs < c.serialNs
+		c.decided = true
+		c.calibrations++
+	}
+	take = int64(driverRecalPeriod - pos)
+	if take > want {
+		take = want
+	}
+	return c.useParallel, false, take
+}
+
+// calAdvance credits ran executed untimed slots to the calibration window
+// position (probe slots advance inside planBatch).
+func (e *Engine) calAdvance(ran int64) {
+	if !e.cfg.Parallel || e.workers <= 1 || e.cfg.PinDriver {
+		return
+	}
+	c := &e.cal
+	c.pos += uint32(ran)
+	if c.pos >= driverRecalPeriod {
+		c.pos = 0
+	}
+}
+
 // observePhaseCost folds one measured phase duration into the per-node
 // cost EWMA feeding the chunk-sizing model.
 func observePhaseCost(ewma *float64, elapsedNs float64, n int) {
@@ -705,6 +850,36 @@ func (e *Engine) stepSerial() {
 			e.stats.Receptions++
 		}
 	}
+	e.finishSlot(slot, receptions)
+}
+
+// stepSerialProfiled is stepSerial with the per-phase wall clock folded
+// into Config.Profile. The execution is identical to stepSerial — the only
+// additions are the clock reads between phases.
+func (e *Engine) stepSerialProfiled() {
+	p := e.prof
+	slot := e.slot
+	e.txScratch = e.txScratch[:0]
+	t0 := time.Now()
+	for i, n := range e.nodes {
+		if n.Tick(slot, &e.frames[i]) {
+			e.frames[i].From = i
+			e.txScratch = append(e.txScratch, i)
+		}
+	}
+	t1 := time.Now()
+	receptions := e.evaluator.SlotReceptions(e.txScratch)
+	t2 := time.Now()
+	for i, rec := range receptions {
+		if rec.Sender >= 0 {
+			e.nodes[i].Receive(slot, &e.frames[rec.Sender])
+			e.stats.Receptions++
+		}
+	}
+	p.TickNs += int64(t1.Sub(t0))
+	p.EvalNs += int64(t2.Sub(t1))
+	p.RecvNs += int64(time.Since(t2))
+	p.Slots++
 	e.finishSlot(slot, receptions)
 }
 
@@ -749,6 +924,84 @@ func (e *Engine) stepParallel() {
 	}
 	e.pool.End()
 	e.finishSlot(slot, receptions)
+}
+
+// stepParallelBatch runs up to take untimed parallel slots inside ONE fused
+// workpool session: the helpers are woken at Begin, the phase barrier then
+// advances through three phases per slot (tick, evaluation chunks, receive),
+// and the helpers park again only at End. Everything serial — transmitter
+// collection, evaluator preparation, stat counters, observers, the stop
+// poll — runs on the leader between the parallel phases, in exact slot
+// order, so the execution is bit-identical to stepParallel called take
+// times; only the per-slot session wake/park is amortised away. stop is
+// polled before every slot after the first (the caller polled before the
+// batch); a batch cut short reports the slots that actually ran.
+func (e *Engine) stepParallelBatch(take int64, stop func() bool) (ran int64, stopped bool) {
+	n := len(e.nodes)
+	e.pool.Begin(e.workers)
+	for ran < take {
+		slot := e.slot
+		e.txScratch = e.txScratch[:0]
+		e.tickSlot = slot
+		e.pool.Run(n, phaseWorkersFor(e.cal.tickNsPerNode, n, e.workers), &e.tickTask)
+		for i, sent := range e.sent {
+			if sent {
+				e.sent[i] = false
+				e.frames[i].From = i
+				e.txScratch = append(e.txScratch, i)
+			}
+		}
+		receptions := e.evaluator.SlotReceptions(e.txScratch)
+		e.stats.Receptions += e.receiveParallel(slot, receptions)
+		e.finishSlot(slot, receptions)
+		ran++
+		if ran < take && stop != nil && stop() {
+			stopped = true
+			break
+		}
+	}
+	e.pool.End()
+	return ran, stopped
+}
+
+// stepParallelFaultsBatch is stepParallelBatch with the fault hook wired
+// in: per slot it mirrors stepParallelFaults exactly — the hook's
+// stochastic sections (SlotStart, PerturbTransmitters, FilterReceptions,
+// panic draining) run on the leader between the parallel phases, in the
+// same order — inside one shared session. Probe slots never batch, so the
+// probing branches of stepParallelFaults are omitted.
+func (e *Engine) stepParallelFaultsBatch(take int64, stop func() bool) (ran int64, stopped bool) {
+	n := len(e.nodes)
+	e.pool.Begin(e.workers)
+	for ran < take {
+		slot := e.slot
+		e.inert = e.faults.SlotStart(slot, n)
+		e.txScratch = e.txScratch[:0]
+		e.tickSlot = slot
+		e.pool.Run(n, phaseWorkersFor(e.cal.tickNsPerNode, n, e.workers), &e.tickTask)
+		for i, sent := range e.sent {
+			if sent {
+				e.sent[i] = false
+				e.frames[i].From = i
+				e.txScratch = append(e.txScratch, i)
+			}
+		}
+		e.realTx = len(e.txScratch)
+		e.txScratch = e.faults.PerturbTransmitters(slot, e.txScratch)
+		receptions := e.evaluator.SlotReceptions(e.txScratch)
+		e.drainPanics(slot)
+		e.faults.FilterReceptions(slot, receptions)
+		e.stats.Receptions += e.receiveParallel(slot, receptions)
+		e.drainPanics(slot)
+		e.finishSlot(slot, receptions)
+		ran++
+		if ran < take && stop != nil && stop() {
+			stopped = true
+			break
+		}
+	}
+	e.pool.End()
+	return ran, stopped
 }
 
 // finishSlot applies the per-slot bookkeeping shared by both drivers. Under
@@ -829,13 +1082,103 @@ func (e *Engine) receiveParallel(slot int64, receptions []sinr.Reception) int64 
 // simulated by this call and whether the stop condition was reached. stop
 // is evaluated before each slot (so a condition that already holds
 // simulates nothing) and may be nil to run exactly maxSlots slots.
+//
+// Run executes in micro-batches of Config.Batch slots (see RunBatch): on
+// the parallel driver each micro-batch shares one fused workpool session.
+// The execution — including exactly when stop is polled — is identical to
+// calling Step in a loop at any batch size.
 func (e *Engine) Run(maxSlots int64, stop func() bool) (int64, bool) {
 	start := e.slot
+	batch := int64(e.batch)
 	for e.slot-start < maxSlots {
-		if stop != nil && stop() {
+		want := maxSlots - (e.slot - start)
+		if want > batch {
+			want = batch
+		}
+		if _, stopped := e.runBatch(want, stop); stopped {
 			return e.slot - start, true
 		}
-		e.Step()
 	}
 	return e.slot - start, stop != nil && stop()
+}
+
+// RunBatch simulates up to b slots as one micro-batch: on the parallel
+// driver the batch runs inside a single fused workpool session (helpers
+// woken once, the phase barrier advancing through 3·b phases), with the
+// adaptive probe consulted once per sub-batch instead of per slot.
+// Observers, fault hooks and stat counters fire per slot in exact slot
+// order, so the execution is bit-identical to b calls of Step; only wall
+// clock differs. It returns the number of slots simulated (b, unless
+// b <= 0). Calls between RunBatch/Run invocations — ApplyEpoch, Reset —
+// always see a flushed batch.
+func (e *Engine) RunBatch(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	ran, _ := e.runBatch(int64(b), nil)
+	return ran
+}
+
+// endBatch closes the batch re-entry guard (deferred by runBatch so the
+// guard clears even when a node or observer panics out of the batch).
+func (e *Engine) endBatch() { e.inBatch = false }
+
+// runBatch executes up to want slots in probe-schedule-aligned sub-batches:
+// timed calibration probes run one slot at a time with exactly Step's
+// timing, untimed stretches run as fused multi-slot sessions (parallel
+// driver) or plain loops (sequential driver). stop is polled once before
+// every slot, matching the slot-at-a-time Run loop poll for poll.
+func (e *Engine) runBatch(want int64, stop func() bool) (int64, bool) {
+	if e.inBatch {
+		panic("sim: Run/RunBatch called from inside a running batch")
+	}
+	e.inBatch = true
+	defer e.endBatch()
+	var done int64
+	for done < want {
+		if stop != nil && stop() {
+			return done, true
+		}
+		parallel, timed, take := e.planBatch(want - done)
+		switch {
+		case timed:
+			e.cal.probing = parallel
+			start := time.Now()
+			e.stepOnce(parallel)
+			elapsed := float64(time.Since(start))
+			e.cal.probing = false
+			if parallel {
+				e.cal.parallelNs += elapsed
+			} else {
+				e.cal.serialNs += elapsed
+			}
+			done++
+		case parallel:
+			var ran int64
+			var stopped bool
+			if e.faults != nil {
+				ran, stopped = e.stepParallelFaultsBatch(take, stop)
+			} else {
+				ran, stopped = e.stepParallelBatch(take, stop)
+			}
+			e.calAdvance(ran)
+			done += ran
+			if stopped {
+				return done, true
+			}
+		default:
+			var ran int64
+			for ran < take {
+				e.stepOnce(false)
+				ran++
+				if ran < take && stop != nil && stop() {
+					e.calAdvance(ran)
+					return done + ran, true
+				}
+			}
+			e.calAdvance(ran)
+			done += ran
+		}
+	}
+	return done, false
 }

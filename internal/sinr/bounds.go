@@ -354,12 +354,89 @@ func (f *FastChannel) finishBounds() {
 // far-cell interference bound sums, the largest far-cell power upper bound,
 // and the list of occupied near cells. It writes only per-cell entries of
 // its range, so chunks race on nothing.
+//
+// Receiver cells are processed in 4-wide blocks sharing one pass over the
+// occupied-cell list: the transmitter cell's coordinates and occupancy
+// count load once per occupied cell instead of once per (receiver cell,
+// occupied cell) pair, and the four lanes' bound sums accumulate through
+// independent chains. Each lane performs exactly the scalar body's
+// operations in occupied-cell order — per-lane sums, near-list appends and
+// max updates are untouched — so every aggregate is bit-identical to the
+// scalar loop's (hoisting the count conversion out of the far branch
+// changes no arithmetic: the multiply still happens only in the far case).
 func (f *FastChannel) boundsPrepChunk(lo, hi, _ int) {
 	bi := f.bidx
 	occ := f.occT
 	stride := bi.nearStride
 	h := 2*bi.spanY + 1
-	for rc := lo; rc < hi; rc++ {
+	rc := lo
+	for ; rc+4 <= hi; rc += 4 {
+		rcx0, rcy0 := bi.cells.Coord(rc)
+		rcx1, rcy1 := bi.cells.Coord(rc + 1)
+		rcx2, rcy2 := bi.cells.Coord(rc + 2)
+		rcx3, rcy3 := bi.cells.Coord(rc + 3)
+		var lo0, lo1, lo2, lo3 float64
+		var hi0, hi1, hi2, hi3 float64
+		var fm0, fm1, fm2, fm3 float64
+		var nr0, nr1, nr2, nr3 int
+		base0 := rc * stride
+		base1 := (rc + 1) * stride
+		base2 := (rc + 2) * stride
+		base3 := (rc + 3) * stride
+		for _, c := range occ {
+			tcx, tcy := bi.cells.Coord(int(c))
+			cnt := float64(f.txCellCnt[c])
+			if idx := (tcx-rcx0+bi.spanX)*h + tcy - rcy0 + bi.spanY; bi.nearOff[idx] {
+				f.nearCells[base0+nr0] = c
+				nr0++
+			} else {
+				lo0 += cnt * bi.pwLB[idx]
+				ub := bi.pwUB[idx]
+				hi0 += cnt * ub
+				if ub > fm0 {
+					fm0 = ub
+				}
+			}
+			if idx := (tcx-rcx1+bi.spanX)*h + tcy - rcy1 + bi.spanY; bi.nearOff[idx] {
+				f.nearCells[base1+nr1] = c
+				nr1++
+			} else {
+				lo1 += cnt * bi.pwLB[idx]
+				ub := bi.pwUB[idx]
+				hi1 += cnt * ub
+				if ub > fm1 {
+					fm1 = ub
+				}
+			}
+			if idx := (tcx-rcx2+bi.spanX)*h + tcy - rcy2 + bi.spanY; bi.nearOff[idx] {
+				f.nearCells[base2+nr2] = c
+				nr2++
+			} else {
+				lo2 += cnt * bi.pwLB[idx]
+				ub := bi.pwUB[idx]
+				hi2 += cnt * ub
+				if ub > fm2 {
+					fm2 = ub
+				}
+			}
+			if idx := (tcx-rcx3+bi.spanX)*h + tcy - rcy3 + bi.spanY; bi.nearOff[idx] {
+				f.nearCells[base3+nr3] = c
+				nr3++
+			} else {
+				lo3 += cnt * bi.pwLB[idx]
+				ub := bi.pwUB[idx]
+				hi3 += cnt * ub
+				if ub > fm3 {
+					fm3 = ub
+				}
+			}
+		}
+		f.nearCnt[rc], f.nearCnt[rc+1], f.nearCnt[rc+2], f.nearCnt[rc+3] = int32(nr0), int32(nr1), int32(nr2), int32(nr3)
+		f.loFar[rc], f.loFar[rc+1], f.loFar[rc+2], f.loFar[rc+3] = lo0, lo1, lo2, lo3
+		f.hiFar[rc], f.hiFar[rc+1], f.hiFar[rc+2], f.hiFar[rc+3] = hi0, hi1, hi2, hi3
+		f.farMaxUB[rc], f.farMaxUB[rc+1], f.farMaxUB[rc+2], f.farMaxUB[rc+3] = fm0, fm1, fm2, fm3
+	}
+	for ; rc < hi; rc++ {
 		rcx, rcy := bi.cells.Coord(rc)
 		loSum, hiSum, farMax := 0.0, 0.0, 0.0
 		near := 0

@@ -432,6 +432,86 @@ func (f *FastChannel) pairPower(ax, ay, bx, by float64) float64 {
 	return f.power / math.Pow(d, f.alpha)
 }
 
+// dist4 is pairPower's clamped-distance prologue for four receivers at
+// once: per lane exactly the scalar operation sequence (subtractions,
+// dx²+dy², Sqrt, near-field clamp), so each lane's distance is bit-identical
+// to the scalar kernel's while the four Sqrt chains overlap.
+func dist4(sx, sy float64, px, py []float64, i int) (d0, d1, d2, d3 float64) {
+	dx0, dy0 := sx-px[i], sy-py[i]
+	dx1, dy1 := sx-px[i+1], sy-py[i+1]
+	dx2, dy2 := sx-px[i+2], sy-py[i+2]
+	dx3, dy3 := sx-px[i+3], sy-py[i+3]
+	d0 = math.Sqrt(dx0*dx0 + dy0*dy0)
+	d1 = math.Sqrt(dx1*dx1 + dy1*dy1)
+	d2 = math.Sqrt(dx2*dx2 + dy2*dy2)
+	d3 = math.Sqrt(dx3*dx3 + dy3*dy3)
+	if d0 < 1 {
+		d0 = 1
+	}
+	if d1 < 1 {
+		d1 = 1
+	}
+	if d2 < 1 {
+		d2 = 1
+	}
+	if d3 < 1 {
+		d3 = 1
+	}
+	return
+}
+
+// fillColumn computes the sender at (sx, sy)'s received power at every node
+// into col, processing receivers in 4-wide blocks over the SoA px/py
+// mirror with the α-specific multiplication sequence hoisted out of the
+// loop. Every lane performs exactly pairPower's operation sequence, so each
+// entry is bit-identical to the scalar call (the kernel differential tests
+// pin this, remainder lanes included); the blocked form overlaps the
+// independent Sqrt/divide chains and hoists the slice bounds checks.
+func (f *FastChannel) fillColumn(col []float64, sx, sy float64) {
+	n := len(col)
+	px := f.px[:n]
+	py := f.py[:n]
+	i := 0
+	switch f.alphaK {
+	case 3:
+		for ; i+4 <= n; i += 4 {
+			d0, d1, d2, d3 := dist4(sx, sy, px, py, i)
+			col[i] = f.power / (d0 * d0 * d0)
+			col[i+1] = f.power / (d1 * d1 * d1)
+			col[i+2] = f.power / (d2 * d2 * d2)
+			col[i+3] = f.power / (d3 * d3 * d3)
+		}
+	case 2:
+		for ; i+4 <= n; i += 4 {
+			d0, d1, d2, d3 := dist4(sx, sy, px, py, i)
+			col[i] = f.power / (d0 * d0)
+			col[i+1] = f.power / (d1 * d1)
+			col[i+2] = f.power / (d2 * d2)
+			col[i+3] = f.power / (d3 * d3)
+		}
+	case 4:
+		for ; i+4 <= n; i += 4 {
+			d0, d1, d2, d3 := dist4(sx, sy, px, py, i)
+			dd0, dd1, dd2, dd3 := d0*d0, d1*d1, d2*d2, d3*d3
+			col[i] = f.power / (dd0 * dd0)
+			col[i+1] = f.power / (dd1 * dd1)
+			col[i+2] = f.power / (dd2 * dd2)
+			col[i+3] = f.power / (dd3 * dd3)
+		}
+	default:
+		for ; i+4 <= n; i += 4 {
+			d0, d1, d2, d3 := dist4(sx, sy, px, py, i)
+			col[i] = f.power / math.Pow(d0, f.alpha)
+			col[i+1] = f.power / math.Pow(d1, f.alpha)
+			col[i+2] = f.power / math.Pow(d2, f.alpha)
+			col[i+3] = f.power / math.Pow(d3, f.alpha)
+		}
+	}
+	for ; i < n; i++ {
+		col[i] = f.pairPower(sx, sy, px[i], py[i])
+	}
+}
+
 // syncSoAPositions brings px/py in step with pos. With a nil dirty list the
 // whole mirror is rebuilt (construction, growth past capacity, churn
 // rebuilds); with a dirty list only the listed slots are rewritten, which
@@ -630,10 +710,7 @@ func (f *FastChannel) ensureColumns(tx []int) {
 		}
 		f.colRef[s] = true
 		f.colStamp[s] = gen
-		sx, sy := f.px[s], f.py[s]
-		for r := range col {
-			col[r] = f.pairPower(sx, sy, f.px[r], f.py[r])
-		}
+		f.fillColumn(col, f.px[s], f.py[s])
 		f.cols[s] = col
 	}
 }
@@ -837,7 +914,32 @@ func (f *FastChannel) buildCandidates(tx []int) {
 	}
 	for _, s := range tx {
 		f.ball = f.grid.AppendWithin(f.ball[:0], f.pos[s], f.cullRadius)
-		for _, id := range f.ball {
+		ball := f.ball
+		i := 0
+		// 4-wide unroll of the mark scan. The stamp checks stay sequential,
+		// so the candidate order (and duplicate handling within a ball) is
+		// identical to the scalar loop; only the loop-control overhead drops.
+		for ; i+4 <= len(ball); i += 4 {
+			id0, id1, id2, id3 := ball[i], ball[i+1], ball[i+2], ball[i+3]
+			if f.mark[id0] != gen {
+				f.mark[id0] = gen
+				f.candidates = append(f.candidates, id0)
+			}
+			if f.mark[id1] != gen {
+				f.mark[id1] = gen
+				f.candidates = append(f.candidates, id1)
+			}
+			if f.mark[id2] != gen {
+				f.mark[id2] = gen
+				f.candidates = append(f.candidates, id2)
+			}
+			if f.mark[id3] != gen {
+				f.mark[id3] = gen
+				f.candidates = append(f.candidates, id3)
+			}
+		}
+		for ; i < len(ball); i++ {
+			id := ball[i]
 			if f.mark[id] != gen {
 				f.mark[id] = gen
 				f.candidates = append(f.candidates, id)
@@ -846,68 +948,124 @@ func (f *FastChannel) buildCandidates(tx []int) {
 	}
 }
 
-// The four chunk evaluators below share one decode structure — total
-// received power over all transmitters, then the first sender meeting the
-// SINR threshold wins (at most one can, since β > 1) — but inline it
-// rather than calling a helper so each path keeps its own power source
-// (matrix row, cached column, recomputation) and receiver enumeration
-// (dense index range vs candidate list) without indirection.
+// The chunk evaluators below share one decode structure — total received
+// power over all transmitters, then the first sender meeting the SINR
+// threshold wins (at most one can, since β > 1). The matrix paths gather
+// listeners into 4-wide blocks whose interference totals are accumulated in
+// one shared pass over the transmitters (matrixTotals4): each receiver's
+// total is still added in exact transmitter order by its own accumulator,
+// so every total — and therefore every decode — is bit-identical to the
+// scalar loop's, while the four independent add chains overlap instead of
+// serialising on one accumulator's add latency. The grid paths keep their
+// own power source (cached column, recomputation) and enumeration inline.
 
-// matrixChunk evaluates receivers [lo, hi) against the cached power matrix.
+// matrixTotals4 sums four receivers' row powers over the slot's
+// transmitters in one pass. Four independent accumulators, each added in
+// transmitter order, make every lane's sum the exact floating-point result
+// of the scalar loop; the four-stream layout is also the shape
+// SIMD-capable compilers vectorise (independent lanes, no cross-lane
+// reduction).
+func matrixTotals4(tx []int, row0, row1, row2, row3 []float64) (t0, t1, t2, t3 float64) {
+	for _, s := range tx {
+		t0 += row0[s]
+		t1 += row1[s]
+		t2 += row2[s]
+		t3 += row3[s]
+	}
+	return
+}
+
+// matrixDecodeRow applies the decode scan to one receiver given its matrix
+// row and precomputed interference total.
+func (f *FastChannel) matrixDecodeRow(r int, row []float64, total float64, dec []int) []int {
+	for _, s := range f.tx {
+		signal := row[s]
+		if signal < f.cullPower {
+			continue // cannot meet β even without interference
+		}
+		if signal/(total-signal+f.noise) >= f.beta {
+			f.out[r].Sender = s
+			dec = append(dec, r)
+			break
+		}
+	}
+	return dec
+}
+
+// matrixBlock4 evaluates four listeners against the cached power matrix:
+// one shared transmitter pass for the four totals, then per-receiver
+// decode scans in block order (ascending within the chunk, so the decode
+// list order matches the scalar loop's).
+func (f *FastChannel) matrixBlock4(blk *[4]int, dec []int) []int {
+	m, stride, n := f.mat, f.stride, f.n
+	row0 := m[blk[0]*stride : blk[0]*stride+n]
+	row1 := m[blk[1]*stride : blk[1]*stride+n]
+	row2 := m[blk[2]*stride : blk[2]*stride+n]
+	row3 := m[blk[3]*stride : blk[3]*stride+n]
+	t0, t1, t2, t3 := matrixTotals4(f.tx, row0, row1, row2, row3)
+	dec = f.matrixDecodeRow(blk[0], row0, t0, dec)
+	dec = f.matrixDecodeRow(blk[1], row1, t1, dec)
+	dec = f.matrixDecodeRow(blk[2], row2, t2, dec)
+	dec = f.matrixDecodeRow(blk[3], row3, t3, dec)
+	return dec
+}
+
+// matrixScalar evaluates one listener against the cached power matrix — the
+// remainder path for blocks of fewer than four listeners.
+func (f *FastChannel) matrixScalar(r int, dec []int) []int {
+	row := f.mat[r*f.stride : r*f.stride+f.n]
+	total := 0.0
+	for _, s := range f.tx {
+		total += row[s]
+	}
+	return f.matrixDecodeRow(r, row, total, dec)
+}
+
+// matrixChunk evaluates receivers [lo, hi) against the cached power matrix,
+// in 4-wide listener blocks with a scalar remainder.
 func (f *FastChannel) matrixChunk(lo, hi, worker int) {
-	tx := f.tx
 	dec := f.decoded[worker]
+	var blk [4]int
+	nb := 0
 	for r := lo; r < hi; r++ {
 		if f.isTx[r] {
 			continue // half-duplex: a transmitting node cannot receive
 		}
-		row := f.mat[r*f.stride : r*f.stride+f.n]
-		total := 0.0
-		for _, s := range tx {
-			total += row[s]
+		blk[nb] = r
+		nb++
+		if nb == 4 {
+			dec = f.matrixBlock4(&blk, dec)
+			nb = 0
 		}
-		for _, s := range tx {
-			signal := row[s]
-			if signal < f.cullPower {
-				continue // cannot meet β even without interference
-			}
-			if signal/(total-signal+f.noise) >= f.beta {
-				f.out[r].Sender = s
-				dec = append(dec, r)
-				break
-			}
-		}
+	}
+	for i := 0; i < nb; i++ {
+		dec = f.matrixScalar(blk[i], dec)
 	}
 	f.decoded[worker] = dec
 }
 
 // sparseMatrixChunk evaluates the slot's candidate receivers [lo, hi) (by
 // candidate index) against the cached power matrix. The arithmetic is
-// identical to matrixChunk; only the receiver enumeration differs.
+// identical to matrixChunk — the same 4-wide blocks, filled in candidate
+// order; only the receiver enumeration differs.
 func (f *FastChannel) sparseMatrixChunk(lo, hi, worker int) {
-	tx := f.tx
 	dec := f.decoded[worker]
+	var blk [4]int
+	nb := 0
 	for i := lo; i < hi; i++ {
 		r := f.candidates[i]
 		if f.isTx[r] {
 			continue
 		}
-		row := f.mat[r*f.stride : r*f.stride+f.n]
-		total := 0.0
-		for _, s := range tx {
-			total += row[s]
+		blk[nb] = r
+		nb++
+		if nb == 4 {
+			dec = f.matrixBlock4(&blk, dec)
+			nb = 0
 		}
-		for _, s := range tx {
-			signal := row[s]
-			if signal < f.cullPower {
-				continue
-			}
-			if signal/(total-signal+f.noise) >= f.beta {
-				f.out[r].Sender = s
-				dec = append(dec, r)
-				break
-			}
-		}
+	}
+	for i := 0; i < nb; i++ {
+		dec = f.matrixScalar(blk[i], dec)
 	}
 	f.decoded[worker] = dec
 }

@@ -139,6 +139,114 @@ func TestSlotReceptionsEquivalenceAlphaVariants(t *testing.T) {
 	}
 }
 
+// TestFillColumnBlockedBitIdentical pins the blocked 4-wide column-fill
+// kernel to the scalar pairPower loop (and through it to the reference
+// composition params.ReceivedPower(Point.Dist)) bit for bit — across
+// fast-pathed and generic exponents, every remainder-lane count
+// (n mod 4 ∈ {0,1,2,3}), coincident/near-field clamp pairs, and receivers
+// planted exactly on power-threshold distances (the culling radius and the
+// transmission range, one ulp either side).
+func TestFillColumnBlockedBitIdentical(t *testing.T) {
+	src := rng.New(0xb10c4ed)
+	up := func(x float64) float64 { return math.Nextafter(x, math.Inf(1)) }
+	down := func(x float64) float64 { return math.Nextafter(x, 0) }
+	for _, alpha := range []float64{3, 4, 2.5, 5} {
+		for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 64, 65, 66, 67} {
+			params := DefaultParams(12)
+			params.Alpha = alpha
+			params.Power = params.Beta * params.Noise * math.Pow(12, alpha)
+			r := params.Range()
+			cr := math.Max(r, 1) * (1 + cullSlack)
+			pos := make([]geom.Point, n)
+			for i := range pos {
+				pos[i] = geom.Point{X: src.Float64() * 40, Y: src.Float64() * 40}
+			}
+			// Overwrite a prefix with adversarial receivers relative to the
+			// sender at pos[0]: clamp boundary, culling radius, range, ± ulp.
+			boundary := []geom.Point{
+				pos[0],
+				{X: pos[0].X + 1, Y: pos[0].Y},
+				{X: up(pos[0].X + 1), Y: pos[0].Y},
+				{X: down(pos[0].X + 1), Y: pos[0].Y},
+				{X: pos[0].X + r, Y: pos[0].Y},
+				{X: up(pos[0].X + r), Y: pos[0].Y},
+				{X: pos[0].X + cr, Y: pos[0].Y},
+				{X: down(pos[0].X + cr), Y: pos[0].Y},
+			}
+			for i := 1; i < n && i-1 < len(boundary); i++ {
+				pos[i] = boundary[i-1]
+			}
+			ch, err := NewChannel(params, pos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := NewFastChannel(ch, FastOptions{Workers: 1})
+			blocked := make([]float64, n)
+			scalar := make([]float64, n)
+			for _, s := range []int{0, n - 1} {
+				f.BenchFillColumn(blocked, s, true)
+				f.BenchFillColumn(scalar, s, false)
+				for i := 0; i < n; i++ {
+					if math.Float64bits(blocked[i]) != math.Float64bits(scalar[i]) {
+						t.Fatalf("alpha=%v n=%d s=%d r=%d: blocked=%x scalar=%x",
+							alpha, n, s, i, math.Float64bits(blocked[i]), math.Float64bits(scalar[i]))
+					}
+					want := params.ReceivedPower(pos[s].Dist(pos[i]))
+					if math.Float64bits(blocked[i]) != math.Float64bits(want) {
+						t.Fatalf("alpha=%v n=%d s=%d r=%d: blocked=%x reference=%x",
+							alpha, n, s, i, math.Float64bits(blocked[i]), math.Float64bits(want))
+					}
+				}
+			}
+			f.Close()
+		}
+	}
+}
+
+// TestGatherTotalsBlockedBitIdentical pins the blocked 4-receiver totals
+// gather (the matrix paths' interference pass) to the scalar per-receiver
+// tx-order sum bit for bit, across receiver-list lengths covering every
+// remainder-lane count and transmitter sets of varied size and order.
+func TestGatherTotalsBlockedBitIdentical(t *testing.T) {
+	src := rng.New(0x9a73e5)
+	const n = 48
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * 30, Y: src.Float64() * 30}
+	}
+	ch, err := NewChannel(DefaultParams(12), pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFastChannel(ch, FastOptions{Workers: 1, SparseFactor: -1})
+	if f.mat == nil {
+		t.Fatal("workload did not select the matrix regime")
+	}
+	for trial := 0; trial < 50; trial++ {
+		nr := 1 + src.Intn(12)
+		rs := make([]int, nr)
+		for i := range rs {
+			rs[i] = src.Intn(n)
+		}
+		k := 1 + src.Intn(n)
+		tx := make([]int, k)
+		for i := range tx {
+			tx[i] = src.Intn(n)
+		}
+		blocked := make([]float64, nr)
+		scalar := make([]float64, nr)
+		f.BenchGatherTotals(blocked, rs, tx, true)
+		f.BenchGatherTotals(scalar, rs, tx, false)
+		for i := range rs {
+			if math.Float64bits(blocked[i]) != math.Float64bits(scalar[i]) {
+				t.Fatalf("trial %d receiver %d (of %d, k=%d): blocked=%x scalar=%x",
+					trial, i, nr, k, math.Float64bits(blocked[i]), math.Float64bits(scalar[i]))
+			}
+		}
+	}
+	f.Close()
+}
+
 // TestOnThresholdCullBoundary is the adversarial case for the r²-domain
 // comparisons: receivers are planted exactly on the culling-radius circle
 // of the only transmitter (where the grid queries' DistSq ≤ r² predicate

@@ -427,11 +427,73 @@ func (f *FastChannel) finishShard() {
 // far-field interference bounds contributed by transmitter supercells
 // outside the 3×3 window (Chebyshev distance ≥ 2 — those provably contain
 // no near cell). Each chunk writes only its own range.
+//
+// Receiver supercells are processed in 4-wide blocks sharing one pass over
+// the occupied-supercell list: the transmitter supercell's coordinates and
+// occupancy count are decoded once per occupied supercell instead of once
+// per (receiver, transmitter) pair, and the four lanes accumulate through
+// independent chains. Per lane the operations — window skip, bound sums in
+// occupied order, max update — are exactly the scalar body's, so the
+// aggregates are bit-identical to the scalar loop's.
 func (f *FastChannel) superFarChunk(lo, hi, _ int) {
 	ext := f.sext
 	occS := f.occS
 	h := 2*ext.superH - 1
-	for sc := lo; sc < hi; sc++ {
+	sc := lo
+	for ; sc+4 <= hi; sc += 4 {
+		rsx0, rsy0 := sc/ext.superH, sc%ext.superH
+		rsx1, rsy1 := (sc+1)/ext.superH, (sc+1)%ext.superH
+		rsx2, rsy2 := (sc+2)/ext.superH, (sc+2)%ext.superH
+		rsx3, rsy3 := (sc+3)/ext.superH, (sc+3)%ext.superH
+		var lo0, lo1, lo2, lo3 float64
+		var hi0, hi1, hi2, hi3 float64
+		var fm0, fm1, fm2, fm3 float64
+		for _, tsc32 := range occS {
+			tsc := int(tsc32)
+			tsx, tsy := tsc/ext.superH, tsc%ext.superH
+			cnt := float64(f.superTxCnt[tsc])
+			if dsx, dsy := tsx-rsx0, tsy-rsy0; dsx < -1 || dsx > 1 || dsy < -1 || dsy > 1 {
+				idx := (dsx+ext.superW-1)*h + dsy + ext.superH - 1
+				lo0 += cnt * ext.pwSuperLB[idx]
+				ub := ext.pwSuperUB[idx]
+				hi0 += cnt * ub
+				if ub > fm0 {
+					fm0 = ub
+				}
+			}
+			if dsx, dsy := tsx-rsx1, tsy-rsy1; dsx < -1 || dsx > 1 || dsy < -1 || dsy > 1 {
+				idx := (dsx+ext.superW-1)*h + dsy + ext.superH - 1
+				lo1 += cnt * ext.pwSuperLB[idx]
+				ub := ext.pwSuperUB[idx]
+				hi1 += cnt * ub
+				if ub > fm1 {
+					fm1 = ub
+				}
+			}
+			if dsx, dsy := tsx-rsx2, tsy-rsy2; dsx < -1 || dsx > 1 || dsy < -1 || dsy > 1 {
+				idx := (dsx+ext.superW-1)*h + dsy + ext.superH - 1
+				lo2 += cnt * ext.pwSuperLB[idx]
+				ub := ext.pwSuperUB[idx]
+				hi2 += cnt * ub
+				if ub > fm2 {
+					fm2 = ub
+				}
+			}
+			if dsx, dsy := tsx-rsx3, tsy-rsy3; dsx < -1 || dsx > 1 || dsy < -1 || dsy > 1 {
+				idx := (dsx+ext.superW-1)*h + dsy + ext.superH - 1
+				lo3 += cnt * ext.pwSuperLB[idx]
+				ub := ext.pwSuperUB[idx]
+				hi3 += cnt * ub
+				if ub > fm3 {
+					fm3 = ub
+				}
+			}
+		}
+		f.superFarLo[sc], f.superFarLo[sc+1], f.superFarLo[sc+2], f.superFarLo[sc+3] = lo0, lo1, lo2, lo3
+		f.superFarHi[sc], f.superFarHi[sc+1], f.superFarHi[sc+2], f.superFarHi[sc+3] = hi0, hi1, hi2, hi3
+		f.superFarMax[sc], f.superFarMax[sc+1], f.superFarMax[sc+2], f.superFarMax[sc+3] = fm0, fm1, fm2, fm3
+	}
+	for ; sc < hi; sc++ {
 		rsx, rsy := sc/ext.superH, sc%ext.superH
 		loSum, hiSum, farMax := 0.0, 0.0, 0.0
 		for _, tsc32 := range occS {

@@ -63,6 +63,31 @@ func TestSessionMixedPhaseWidths(t *testing.T) {
 	p.End()
 }
 
+// TestSessionManyPhases drives one session through the phase counts a
+// batched engine micro-batch produces — 3 phases per slot for 64-slot
+// batches, with narrow (inline) phases interleaved like the engine's serial
+// leader sections — verifying the atomic phase generation and the
+// spin-then-park barrier stay correct far past the handful of phases the
+// per-slot drivers use.
+func TestSessionManyPhases(t *testing.T) {
+	p := New()
+	defer p.Close()
+	const n = 64
+	for _, workers := range []int{2, 4, 8} {
+		p.Begin(workers)
+		for phase := 0; phase < 3*64; phase++ {
+			w := workers
+			if phase%3 == 2 {
+				w = 1 // serial interlude, runs inline on the leader
+			}
+			task := &coverTask{got: make([]int32, n)}
+			p.Run(n, w, task)
+			checkCovered(t, task, "many-phase session")
+		}
+		p.End()
+	}
+}
+
 func TestSessionWithoutPhases(t *testing.T) {
 	// A session whose phases all run inline (or that has none) never wakes
 	// a helper; Begin/End must still pair cleanly, repeatedly.

@@ -81,7 +81,12 @@ func (e *PanicError) Error() string {
 // spends polling the phase generation before parking on its channel. The
 // budget keeps back-to-back phases scheduler-free while capping the cost of
 // a long serial interlude (evaluator preparation on the leader) to a few
-// microseconds of yields per helper.
+// microseconds of yields per helper. Pools created on a single-processor
+// runtime get a zero budget instead (see New): with GOMAXPROCS=1 the phase
+// generation can only advance while the goroutine being waited on holds the
+// CPU, so every spin iteration merely delays it — the yield ping-pong
+// between spinning helpers and the leader's serial interlude is pure
+// overhead, and parking immediately is strictly cheaper.
 const sessionSpins = 128
 
 // state is the part of the pool the helper goroutines reference. It is
@@ -123,6 +128,7 @@ type state struct {
 	parked      []int32                    // per-helper: 1 while parked at a session barrier
 	leaderPark  int32
 	leaderWake  chan struct{}
+	spins       int // per-wait spin budget: sessionSpins, or 0 at GOMAXPROCS=1
 }
 
 // Pool is a persistent worker pool. The zero value is not usable; call New.
@@ -141,7 +147,13 @@ func New() *Pool {
 	p := &Pool{s: &state{
 		stop:       make(chan struct{}),
 		leaderWake: make(chan struct{}, 1),
+		spins:      sessionSpins,
 	}}
+	if runtime.GOMAXPROCS(0) == 1 {
+		// Spinning at a barrier only pays off when another processor can
+		// advance the phase concurrently; single-proc pools park right away.
+		p.s.spins = 0
+	}
 	// Backstop: release the helpers when the pool's owner drops it without
 	// calling Close. The cleanup references only the inner state, never the
 	// Pool header, so it does not keep the pool alive.
@@ -374,7 +386,7 @@ func (s *state) wakeParked() {
 // the current phase barrier, spinning briefly before parking on leaderWake.
 func (s *state) awaitArrived() {
 	target := int64(s.sessHelpers)
-	for i := 0; i < sessionSpins; i++ {
+	for i := 0; i < s.spins; i++ {
 		if s.arrived.Load() >= target {
 			return
 		}
@@ -428,7 +440,7 @@ func (s *state) helperSession(w int, wake chan struct{}) bool {
 // (no signal coming) or consumes the signal of the leader that claimed it.
 // It reports false when the pool is shutting down.
 func (s *state) awaitPhase(target uint64, w int, wake chan struct{}) bool {
-	for i := 0; i < sessionSpins; i++ {
+	for i := 0; i < s.spins; i++ {
 		if s.phase.Load() >= target {
 			return true
 		}
