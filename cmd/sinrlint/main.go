@@ -1,0 +1,172 @@
+// Command sinrlint statically enforces the repository's execution
+// invariants: determinism of decision paths (detrand, maporder), the
+// engine-owned frame lifecycle (frameretain), pow-free kernel arithmetic
+// (powfree) and allocation-free hot paths (hotalloc). See doc.go's "Static
+// invariants" section and the individual analyzer package docs.
+//
+// It runs in two modes:
+//
+//	sinrlint [packages]         # standalone; defaults to ./...
+//	go vet -vettool=$(which sinrlint) ./...
+//
+// The standalone mode loads packages itself via the go command; the vettool
+// mode implements the go command's vet-config protocol (the same contract
+// as x/tools' unitchecker: answer -V=full and -flags, then analyze one
+// compilation unit per invocation from a JSON config). Both exit nonzero
+// when any diagnostic is reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"sinrmac/internal/analysis"
+	"sinrmac/internal/analysis/driver"
+	"sinrmac/internal/analysis/suite"
+)
+
+const progname = "sinrlint"
+
+func main() {
+	// The go command probes vet tools before use: `sinrlint -V=full` must
+	// print a version fingerprint (it keys vet's action cache), and
+	// `sinrlint -flags` must list supported analyzer flags as JSON.
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (vet protocol)")
+	listOnly := flag.Bool("list", false, "list the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] [packages]\n       %s <unit>.cfg   (go vet -vettool mode)\n\nAnalyzers:\n", progname, progname)
+		for _, a := range suite.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVet(args[0], *jsonOut)
+		return
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	pkgs, err := driver.Load("", args)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	diags, fset, err := driver.Run(pkgs, suite.Analyzers())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *jsonOut {
+		writeJSON(os.Stdout, "", diags, fset)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d invariant violation(s)\n", progname, len(diags))
+		os.Exit(1)
+	}
+}
+
+// runVet analyzes one go-vet compilation unit. Exit status 0 means clean;
+// diagnostics print to stderr (or stdout as JSON under -json) with exit
+// status 2, which the go command reports per package.
+func runVet(cfgPath string, jsonOut bool) {
+	diags, fset, err := driver.RunVetUnit(cfgPath, suite.Analyzers())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	if jsonOut {
+		// The vet JSON protocol keys diagnostics by package then analyzer.
+		writeJSON(os.Stdout, importPathOf(cfgPath), diags, fset)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	os.Exit(2)
+}
+
+func importPathOf(cfgPath string) string {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return ""
+	}
+	var cfg struct{ ImportPath string }
+	if json.Unmarshal(data, &cfg) != nil {
+		return ""
+	}
+	return cfg.ImportPath
+}
+
+// jsonDiagnostic matches the vet JSON diagnostic schema.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w io.Writer, pkgPath string, diags []analysis.Diagnostic, fset *token.FileSet) {
+	byAnalyzer := map[string][]jsonDiagnostic{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiagnostic{pkgPath: byAnalyzer}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(out)
+}
+
+// printVersion answers `-V=full` in the format the go command's tool-id
+// probe expects: "<name> version <fingerprint...>". Hashing the executable
+// makes rebuilt analyzers invalidate vet's result cache.
+func printVersion() {
+	fingerprint := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				fingerprint = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", progname, fingerprint)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, progname+": "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -129,6 +129,45 @@
 // (internal/sinr's kernel differential tests pin this), and sparse/bounds
 // threshold comparisons stay in the squared-distance domain.
 //
+// # Static invariants (sinrlint)
+//
+// The invariants above are dynamic contracts: the differential suites
+// assert bit-identity on the topologies they draw, the alloc gates on the
+// workloads they run. cmd/sinrlint (internal/analysis) is the static side
+// of the same contracts — a suite of go/analysis-style analyzers that
+// reject the constructs which break them, in any code path, before a test
+// ever executes. It runs standalone (`go run ./cmd/sinrlint ./...`) and as
+// a `go vet -vettool`, and CI enforces it on every push. Five analyzers:
+//
+//   - detrand: no math/rand (or crypto/rand) and no wall-clock reads
+//     (time.Now, time.Since, ...) in the decision-path packages — every
+//     outcome must derive from explicit seeds via internal/rng labelled
+//     splits. The driver-calibration timing probes, whose measurements
+//     only pick between bit-identical drivers, are annotated.
+//   - maporder: no `for range` over a map whose body appends to a slice,
+//     accumulates floating-point sums, prints, sends, emits sim.Frames or
+//     draws randomness — Go's randomized map order would leak into
+//     output. Collect-then-sort in the same block is recognized as safe.
+//   - frameretain: no Tick/Receive body stores the engine-owned
+//     *sim.Frame (or its Msg/Payload pointers) into fields, slices, maps,
+//     channels or closures — the pooled frame is valid only until the end
+//     of the slot; retaining a copy (*f) is the sanctioned pattern.
+//   - powfree: no math.Pow or math.Hypot in internal/sinr and
+//     internal/geom outside annotated reference or construction-time
+//     code, pinning the pow-free kernel arithmetic.
+//   - hotalloc: functions annotated //sinrlint:hotpath (the slot-path
+//     chunk kernels) must contain no allocating constructs — make/new,
+//     map/slice literals, non-self append, interface boxing, capturing
+//     closures, fmt calls, string concatenation.
+//
+// Exceptions are explicit and justified in-source: a comment
+// `//sinrlint:allow <analyzer> <why>` pardons its own line and the next
+// (or, in a declaration's doc comment, the whole declaration), and every
+// annotation carries the argument for why the invariant is not at risk.
+// The analyzers are built on a self-contained framework (internal/analysis,
+// internal/analysis/driver) with analysistest-style fixture tests per
+// analyzer, so the gate itself is tested code.
+//
 // # Execution model
 //
 // Simulations advance in micro-batches. sim.Engine.RunBatch(b) executes up

@@ -1,0 +1,186 @@
+// Package analysistest runs one analyzer over a testdata fixture package
+// and checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of this repository's
+// self-contained framework.
+//
+// Fixture layout follows the x/tools convention: the analyzer package holds
+// testdata/src/<pkg>/*.go, and every line that should produce a diagnostic
+// carries a trailing comment of the form
+//
+//	code() // want "regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. Lines
+// without a want comment must produce no diagnostic, which is how the
+// negative cases for the //sinrlint:allow escape hatches are expressed: an
+// annotated violation simply has no want, and the test fails if the
+// suppression ever stops working.
+//
+// Fixtures may import real repository packages (sinrmac/internal/sim and
+// friends); their export data is produced on demand by one cached
+// `go list -export -deps` call per test binary.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"sinrmac/internal/analysis"
+	"sinrmac/internal/analysis/driver"
+)
+
+// want is one expectation: a diagnostic whose message matches rx, on line.
+type want struct {
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run analyzes the fixture package at testdata/src/<pkg> (relative to the
+// calling test's package directory) with a and compares diagnostics against
+// the fixture's want annotations. The analyzer's Match filter is ignored:
+// fixtures opt in by construction.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files under %s: %v", dir, err)
+	}
+	sort.Strings(files)
+
+	loader := driver.NewLoader(exportData(t, files), nil)
+	fixture, err := loader.Check("fixture/"+pkg, "", files)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", pkg, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, fixture.Fset, fixture.Files, fixture.Types, fixture.Info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	analysis.SortDiagnostics(fixture.Fset, diags)
+
+	wants := collectWants(t, fixture)
+	for _, d := range diags {
+		pos := fixture.Fset.Position(d.Pos)
+		key := pos.Filename
+		matched := false
+		for _, w := range wants[key] {
+			if w.line == pos.Line && !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, w.line, w.rx)
+			}
+		}
+	}
+}
+
+// collectWants parses the fixtures' want comments.
+func collectWants(t *testing.T, pkg *driver.Package) map[string][]*want {
+	t.Helper()
+	out := map[string][]*want{}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, q := range quoted.FindAllString(m[1], -1) {
+					pat := q[1 : len(q)-1]
+					pat = strings.ReplaceAll(pat, `\"`, `"`)
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", name, line, pat, err)
+					}
+					out[name] = append(out[name], &want{line: line, rx: rx})
+				}
+			}
+		}
+	}
+	return out
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+// exportData returns an import-path -> export-file map covering every
+// import in the fixture files (with transitive dependencies), shelling out
+// to the go command only for paths not yet cached in this test binary.
+func exportData(t *testing.T, files []string) map[string]string {
+	t.Helper()
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			if _, ok := exportCache[path]; !ok {
+				missing = append(missing, path)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			t.Fatalf("go list -export %v: %v", missing, err)
+		}
+		type entry struct {
+			ImportPath string
+			Export     string
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var e entry
+			if err := dec.Decode(&e); err != nil {
+				break
+			}
+			if e.Export != "" {
+				exportCache[e.ImportPath] = e.Export
+			}
+		}
+	}
+	return exportCache
+}

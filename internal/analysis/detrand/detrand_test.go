@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"sinrmac/internal/analysis/analysistest"
+	"sinrmac/internal/analysis/detrand"
+)
+
+func TestAnalyzerDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "detrand")
+}

@@ -1,0 +1,48 @@
+// Fixture for the detrand analyzer: wall-clock reads and ambient
+// randomness are violations; //sinrlint:allow detrand pardons probes.
+package detrand
+
+import (
+	"math/rand" // want "import of math/rand in decision-path package"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "wall-clock read time.Sleep"
+}
+
+func ambient() int {
+	return rand.Intn(10) // want "ambient randomness rand.Intn"
+}
+
+// typeUseIsFine: mentioning time types or pure constructors reads no clock.
+func typeUseIsFine(d time.Duration) time.Duration {
+	var t time.Time
+	_ = t
+	return d + time.Millisecond
+}
+
+// declProbe is the negative case for the declaration-level escape hatch:
+// the doc-comment annotation pardons the whole body.
+//
+//sinrlint:allow detrand fixture timing probe, feeds no decision
+func declProbe() time.Time {
+	return time.Now()
+}
+
+// lineProbe is the negative case for the line-level escape hatch: the
+// annotated line is pardoned, the next read still fires.
+func lineProbe() time.Duration {
+	start := time.Now() //sinrlint:allow detrand fixture probe
+	var d time.Duration
+	d = time.Since(start) // want "wall-clock read time.Since"
+	return d
+}

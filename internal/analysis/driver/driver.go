@@ -1,0 +1,277 @@
+// Package driver loads and type-checks packages for the sinrlint analyzers
+// and runs the analyzer suite over them. It fills the role of
+// golang.org/x/tools/go/packages + go/analysis's checker using only the
+// standard library: package metadata and compiled export data come from
+// `go list -export -deps -json`, and imports resolve through the gc export
+// data importer (go/importer.ForCompiler with a lookup function), so the
+// whole pipeline works offline with zero module dependencies.
+//
+// Two entry points correspond to cmd/sinrlint's two modes:
+//
+//   - Load + Run: the standalone mode. Load shells out to the go command
+//     once for the requested patterns and type-checks every matched
+//     non-test package from source, importing dependencies from their
+//     export data.
+//   - RunVetUnit: the `go vet -vettool` mode. The go command hands the tool
+//     one pre-planned compilation unit (a JSON "vet config" naming sources,
+//     the import map and per-import export data files); no go list call is
+//     needed.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+
+	"sinrmac/internal/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct {
+		Err string
+	}
+}
+
+// Loader type-checks packages against export data produced by the go
+// command. It is not safe for concurrent use.
+type Loader struct {
+	Fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imports map[string]string // source import path -> canonical path (vet mode)
+	imp     types.ImporterFrom
+}
+
+// NewLoader returns a loader resolving imports via the given
+// path->export-file map. importMap optionally redirects source-level import
+// paths to canonical unit paths (the vet config's ImportMap); nil means the
+// identity mapping, which is exact for this dependency-free module.
+func NewLoader(exports map[string]string, importMap map[string]string) *Loader {
+	l := &Loader{Fset: token.NewFileSet(), exports: exports, imports: importMap}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := l.imports[path]; ok {
+		path = mapped
+	}
+	file, ok := l.exports[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer over the export data map.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if mapped, ok := l.imports[path]; ok {
+		path = mapped
+	}
+	return l.imp.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom; the directory is irrelevant
+// because the import map is explicit.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.Import(path)
+}
+
+// Check parses and type-checks one package from source files.
+func (l *Loader) Check(pkgPath, dir string, files []string) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(pkgPath, l.Fset, parsed, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Dir: dir, Fset: l.Fset, Files: parsed, Types: pkg, Info: info}, nil
+}
+
+// Load resolves patterns with the go command (run in dir; "" means the
+// current directory) and type-checks every matched package. Dependencies —
+// including the matched packages' own — are compiled to export data by the
+// same go invocation, so repeat runs ride the build cache.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	var targets []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		e := new(listEntry)
+		if err := dec.Decode(e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	loader := NewLoader(exports, nil)
+	var pkgs []*Package
+	for _, e := range targets {
+		if e.Error != nil {
+			return nil, fmt.Errorf("%s: %s", e.ImportPath, e.Error.Err)
+		}
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := loader.Check(e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Run applies every analyzer whose Match accepts the package's import path,
+// returning position-sorted diagnostics.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	var diags []analysis.Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		base := analysis.PkgPathBase(pkg.Path)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(base) {
+				continue
+			}
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			})
+			if err := a.Run(pass); err != nil {
+				return nil, fset, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+		analysis.SortDiagnostics(pkg.Fset, diags)
+	}
+	return diags, fset, nil
+}
+
+// VetConfig mirrors the JSON compilation-unit description the go command
+// passes to -vettool binaries. Field names and semantics follow
+// cmd/go/internal/work's vet config (the same contract
+// golang.org/x/tools/go/analysis/unitchecker consumes).
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredGoFiles            []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit analyzes the single compilation unit described by the vet
+// config file at cfgPath. It writes the (empty — the suite exchanges no
+// facts) .vetx output the go command expects and returns the unit's
+// diagnostics with the fileset for rendering positions.
+func RunVetUnit(cfgPath string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("parse vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil, nil
+	}
+	loader := NewLoader(cfg.PackageFile, cfg.ImportMap)
+	pkg, err := loader.Check(cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	diags, fset, err := Run([]*Package{pkg}, analyzers)
+	return diags, fset, err
+}

@@ -1,0 +1,218 @@
+// Package frameretain enforces the engine-owned frame lifecycle in
+// protocol code.
+//
+// The engine pools one sim.Frame per node and re-delivers pointers to it
+// every slot: a *sim.Frame handed to Tick or Receive — and any payload its
+// Msg or Payload fields point to — is valid only until the end of that
+// slot (the contract documented on sim.Frame since the frame pooling PR).
+// Storing the pointer into a struct field, slice, map or channel therefore
+// aliases memory the transmitter will overwrite on its next Tick. This
+// analyzer flags such stores inside any Tick/Receive method that takes a
+// *sim.Frame, tracking local aliases of the frame parameter and of its
+// Msg/Payload fields. Retaining a *copy* (*f, or copied payload contents)
+// is the sanctioned pattern and is not flagged.
+package frameretain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sinrmac/internal/analysis"
+)
+
+// Analyzer is the frameretain check.
+var Analyzer = &analysis.Analyzer{
+	Name: "frameretain",
+	Doc:  "flag Tick/Receive bodies that store the engine-owned *sim.Frame (or its payload pointers) beyond the slot",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Tick" && fd.Name.Name != "Receive" {
+				continue
+			}
+			frames := frameParams(pass, fd)
+			if len(frames) == 0 {
+				continue
+			}
+			checkBody(pass, fd, frames)
+		}
+	}
+	return nil
+}
+
+// isFramePtr reports whether t is *sim.Frame.
+func isFramePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Frame" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sinrmac/internal/sim"
+}
+
+// frameParams returns the objects of fd's parameters of type *sim.Frame.
+func frameParams(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.ObjectOf(name)
+			if obj != nil && isFramePtr(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkBody flags escapes of frame-derived values from one Tick/Receive.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, tainted map[types.Object]bool) {
+	// Propagate taint through local aliases (g := f; m := f.Msg). A couple
+	// of passes reach a fixpoint on realistic bodies; the bound only limits
+	// pathological alias chains written top-to-bottom out of order.
+	for i := 0; i < 4; i++ {
+		added := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.DEFINE && as.Tok != token.ASSIGN) {
+				return true
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for j, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				// Only locals can become aliases; anything else is a store,
+				// handled below.
+				if _, isVar := obj.(*types.Var); !isVar {
+					continue
+				}
+				if taintedExpr(pass, as.Rhs[j], tainted) {
+					tainted[obj] = true
+					added = true
+				}
+			}
+			return true
+		})
+		if !added {
+			break
+		}
+	}
+
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				return true
+			}
+			for j, lhs := range n.Lhs {
+				if j >= len(n.Rhs) {
+					break
+				}
+				if !taintedExpr(pass, n.Rhs[j], tainted) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					// Local alias: handled by taint propagation above —
+					// unless the identifier is not function-local (a
+					// package-level variable outlives the slot).
+					if obj := pass.ObjectOf(l); obj != nil && obj.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(n.Pos(), "%s stores engine-owned frame data in package variable %s; the frame is valid only until end of slot — copy it", name, l.Name)
+					}
+				case *ast.SelectorExpr:
+					pass.Reportf(n.Pos(), "%s stores engine-owned frame data in field %s; the frame is valid only until end of slot — copy it", name, renderSel(l))
+				case *ast.IndexExpr:
+					pass.Reportf(n.Pos(), "%s stores engine-owned frame data in a slice or map element; the frame is valid only until end of slot — copy it", name)
+				case *ast.StarExpr:
+					pass.Reportf(n.Pos(), "%s stores engine-owned frame data through a pointer; the frame is valid only until end of slot — copy it", name)
+				}
+			}
+		case *ast.SendStmt:
+			if taintedExpr(pass, n.Value, tainted) {
+				pass.Reportf(n.Pos(), "%s sends engine-owned frame data on a channel; the frame is valid only until end of slot — copy it", name)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" {
+					for _, arg := range n.Args[1:] {
+						if taintedExpr(pass, arg, tainted) {
+							pass.Reportf(n.Pos(), "%s appends engine-owned frame data to a slice; the frame is valid only until end of slot — copy it", name)
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if taintedExpr(pass, e, tainted) {
+					pass.Reportf(n.Pos(), "%s embeds engine-owned frame data in a composite literal; the frame is valid only until end of slot — copy it", name)
+				}
+			}
+		case *ast.FuncLit:
+			// A closure capturing the frame may run after the slot ends
+			// (goroutine, stored callback).
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.ObjectOf(id); obj != nil && tainted[obj] {
+						pass.Reportf(id.Pos(), "%s captures engine-owned frame data in a closure; the frame is valid only until end of slot — copy it", name)
+						return false
+					}
+				}
+				return true
+			})
+			return false // reported once; don't re-visit inner nodes
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e evaluates to frame-derived pointer data:
+// a tainted identifier, a tainted expression's Msg/Payload field, or a
+// parenthesization thereof. Dereferencing (*f, copying the struct) and
+// reading scalar fields (f.From, f.Kind) launder the taint — those are
+// copies.
+func taintedExpr(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.ObjectOf(e)
+		return obj != nil && tainted[obj]
+	case *ast.ParenExpr:
+		return taintedExpr(pass, e.X, tainted)
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "Msg" && e.Sel.Name != "Payload" {
+			return false
+		}
+		return taintedExpr(pass, e.X, tainted)
+	}
+	return false
+}
+
+func renderSel(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}

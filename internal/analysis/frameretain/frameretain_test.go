@@ -1,0 +1,12 @@
+package frameretain_test
+
+import (
+	"testing"
+
+	"sinrmac/internal/analysis/analysistest"
+	"sinrmac/internal/analysis/frameretain"
+)
+
+func TestAnalyzerFrameretain(t *testing.T) {
+	analysistest.Run(t, frameretain.Analyzer, "frameretain")
+}

@@ -1,0 +1,63 @@
+// Fixture for the frameretain analyzer: Tick/Receive bodies must not
+// retain the engine-owned *sim.Frame or its Msg/Payload pointers beyond
+// the slot. Copying the frame value is the sanctioned pattern.
+package frameretain
+
+import "sinrmac/internal/sim"
+
+type node struct {
+	saved   *sim.Frame
+	history []*sim.Frame
+	byFrom  map[int]*sim.Frame
+	lastMsg interface{}
+	frame   sim.Frame
+	ch      chan *sim.Frame
+}
+
+func (n *node) Tick(slot int64, f *sim.Frame) bool {
+	n.saved = f // want "stores engine-owned frame data in field n.saved"
+	return false
+}
+
+func (n *node) Receive(slot int64, f *sim.Frame) {
+	g := f
+	n.saved = g                      // want "stores engine-owned frame data in field n.saved"
+	n.history = append(n.history, f) // want "appends engine-owned frame data"
+	n.byFrom[f.From] = f             // want "slice or map element"
+	n.lastMsg = f.Msg                // want "stores engine-owned frame data in field n.lastMsg"
+	n.ch <- f                        // want "sends engine-owned frame data"
+	go func() { n.saved = f }()      // want "captures engine-owned frame data"
+}
+
+// copier shows the sanctioned patterns: copying the frame value and
+// reading its scalar fields launder the taint and produce no diagnostic.
+type copier struct {
+	frame sim.Frame
+	from  int
+}
+
+func (c *copier) Receive(slot int64, f *sim.Frame) {
+	c.frame = *f
+	c.from = f.From
+}
+
+// annotated is the negative case for the escape hatch: a deliberate
+// retention pardoned by the declaration-level annotation.
+type annotated struct{ saved *sim.Frame }
+
+// Tick retains the frame on purpose; the fixture asserts the annotation
+// suppresses the diagnostic.
+//
+//sinrlint:allow frameretain fixture: retention is re-validated next slot
+func (a *annotated) Tick(slot int64, f *sim.Frame) bool {
+	a.saved = f
+	return false
+}
+
+// clockOnly has no frame parameter, so it is outside the analyzer's scope.
+type clockOnly struct{ ticks int }
+
+func (c *clockOnly) Tick(slot int64) bool {
+	c.ticks++
+	return false
+}

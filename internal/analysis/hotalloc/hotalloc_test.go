@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"sinrmac/internal/analysis/analysistest"
+	"sinrmac/internal/analysis/hotalloc"
+)
+
+func TestAnalyzerHotalloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "hotalloc")
+}

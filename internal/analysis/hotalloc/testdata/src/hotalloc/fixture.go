@@ -1,0 +1,120 @@
+// Fixture for the hotalloc analyzer: //sinrlint:hotpath functions must be
+// statically allocation-free; //sinrlint:allow hotalloc pardons amortized
+// growth sites.
+package hotalloc
+
+import "fmt"
+
+type state struct {
+	buf []int
+	out []float64
+}
+
+// kernel is a clean hot path: loops, arithmetic, indexing, self-append.
+//
+//sinrlint:hotpath
+func (s *state) kernel(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.buf = append(s.buf, len(xs))
+	return sum
+}
+
+//sinrlint:hotpath
+func (s *state) badMake(n int) {
+	s.out = make([]float64, n) // want "make allocates"
+}
+
+//sinrlint:hotpath
+func (s *state) badNew() *int {
+	return new(int) // want "new allocates"
+}
+
+//sinrlint:hotpath
+func (s *state) badAppend(dst []int, v int) []int {
+	dst = append(dst, v)
+	t := append(dst, v) // want "append to a slice the function does not own"
+	_ = t
+	return dst
+}
+
+//sinrlint:hotpath
+func (s *state) badLiterals() {
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	p := &state{} // want "composite literal allocates"
+	_ = p
+	var a [4]float64
+	_ = a
+	v := state{}
+	_ = v
+}
+
+//sinrlint:hotpath
+func (s *state) badBox(x int) interface{} {
+	var i interface{} = x // want "boxes its operand"
+	_ = i
+	return x // want "boxes its operand"
+}
+
+func sink(vs ...interface{}) {}
+
+//sinrlint:hotpath
+func (s *state) badVariadic(x int) {
+	sink(x) // want "boxes its operand"
+}
+
+//sinrlint:hotpath
+func (s *state) badFmt(x int) {
+	fmt.Println(x) // want "fmt.Println allocates"
+}
+
+//sinrlint:hotpath
+func (s *state) badClosure(n int) func() int {
+	f := func() int { return n } // want "closure captures"
+	return f
+}
+
+//sinrlint:hotpath
+func (s *state) okClosure() func() int {
+	f := func() int { return 42 }
+	return f
+}
+
+//sinrlint:hotpath
+func (s *state) badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//sinrlint:hotpath
+func (s *state) badConv(b []byte) string {
+	return string(b) // want "string/slice conversion copies"
+}
+
+//sinrlint:hotpath
+func (s *state) badGo() {
+	go noop() // want "go statement"
+}
+
+func noop() {}
+
+// growth is the negative case for the escape hatch: the amortized make is
+// pardoned by the line-level annotation.
+//
+//sinrlint:hotpath
+func (s *state) growth(n int) {
+	if cap(s.out) < n {
+		//sinrlint:allow hotalloc amortized growth, fixture
+		s.out = make([]float64, n)
+	}
+	s.out = s.out[:n]
+}
+
+// unannotated functions are outside the analyzer's scope entirely.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

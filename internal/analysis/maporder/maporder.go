@@ -1,0 +1,303 @@
+// Package maporder flags iteration over Go maps whose loop body does
+// order-sensitive work.
+//
+// Go randomizes map iteration order per run, so a `for range m` that
+// appends to a slice, accumulates floating-point sums, emits frames or
+// results, or draws randomness produces output that differs run to run —
+// exactly the nondeterminism the repository's bit-identity invariants rule
+// out. The analyzer recognizes the standard safe shape (collect, then sort
+// the collected slice before it is used, in the same block) and the
+// //sinrlint:allow maporder annotation for sites whose order provably does
+// not reach any output.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sinrmac/internal/analysis"
+)
+
+// Analyzer is the maporder check. It applies to every package in the
+// module: map-order nondeterminism is as fatal in the experiment harness or
+// a cmd as it is in the engine.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body appends, accumulates floats, emits results or draws randomness",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				stmts = n.List
+			case *ast.CaseClause:
+				stmts = n.Body
+			case *ast.CommClause:
+				stmts = n.Body
+			default:
+				return true
+			}
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				checkRange(pass, rs, stmts[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRange inspects one range statement; rest is the tail of the
+// enclosing block after it, scanned for the collect-then-sort pardon.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var reason string
+	// appendTargets collects the objects of `x = append(x, ...)` self-assign
+	// targets; they are pardonable if sorted before use.
+	var appendTargets []types.Object
+	pardonable := true
+	// handled marks append calls already classified via their enclosing
+	// `x = append(x, ...)` assignment, so the child visit skips them.
+	handled := map[*ast.CallExpr]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if isFloat(pass.TypeOf(n.Lhs[0])) {
+					reason = "accumulates a floating-point sum (order-dependent rounding)"
+					return false
+				}
+			}
+			// x = append(x, ...) — record the target for the sort pardon.
+			if n.Tok == token.ASSIGN && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					handled[call] = true
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						if obj := pass.ObjectOf(id); obj != nil && sameIdentBase(call, pass, obj) {
+							appendTargets = append(appendTargets, obj)
+							return true
+						}
+					}
+					pardonable = false
+					appendTargets = append(appendTargets, nil)
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, n) && !handled[n] {
+				// append not in x = append(x, ...) form.
+				pardonable = false
+				appendTargets = append(appendTargets, nil)
+				return true
+			}
+			if drawsRandomness(pass, n) {
+				reason = "draws randomness (stream consumed in map order)"
+				return false
+			}
+			if isFmtPrint(pass, n) {
+				reason = "prints output (rendered in map order)"
+				return false
+			}
+			for _, arg := range n.Args {
+				if isFrameType(pass.TypeOf(arg)) {
+					reason = "emits a sim.Frame (delivery order becomes map order)"
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			reason = "sends on a channel (emission order becomes map order)"
+			return false
+		}
+		return true
+	})
+	if reason == "" {
+		if len(appendTargets) == 0 {
+			return
+		}
+		if pardonable && allSortedAfter(pass, appendTargets, rest) {
+			return
+		}
+		reason = "appends to a slice (element order becomes map order; sort the slice before use, or sort the keys first)"
+	}
+	pass.Reportf(rs.Pos(), "iteration over map %s: sort keys first, or annotate why order cannot reach output", reason)
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		b, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return b.Info()&types.IsFloat != 0 || b.Info()&types.IsComplex != 0
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sameIdentBase reports whether the append call's first argument is the
+// identifier bound to obj — the `x = append(x, ...)` shape.
+func sameIdentBase(call *ast.CallExpr, pass *analysis.Pass, obj types.Object) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.ObjectOf(id) == obj
+}
+
+// drawsRandomness reports whether the call consumes a pseudo-random stream:
+// a method on an internal/rng Source or anything from math/rand.
+func drawsRandomness(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				return true
+			}
+			return false
+		}
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sinrmac/internal/rng"
+}
+
+// isFmtPrint reports whether the call writes formatted output (the fmt
+// print family; Sprintf and friends return strings and are judged by what
+// happens to the result instead).
+func isFmtPrint(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+		return true
+	}
+	return false
+}
+
+func isFrameType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Frame" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sinrmac/internal/sim"
+}
+
+// allSortedAfter reports whether every append target is passed to a
+// sort/slices call in the block tail following the range statement.
+func allSortedAfter(pass *analysis.Pass, targets []types.Object, rest []ast.Stmt) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	sorted := map[types.Object]bool{}
+	for _, s := range rest {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.ObjectOf(selIdent(sel)).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				markIdents(pass, arg, sorted)
+			}
+			return true
+		})
+	}
+	for _, obj := range targets {
+		if obj == nil || !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+func selIdent(sel *ast.SelectorExpr) *ast.Ident {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id
+	}
+	return ast.NewIdent("")
+}
+
+// markIdents records every identifier object mentioned in e (sort.Sort
+// wraps the slice in a conversion, so a plain-argument check is too
+// narrow).
+func markIdents(pass *analysis.Pass, e ast.Expr, out map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+}

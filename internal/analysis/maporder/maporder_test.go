@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"sinrmac/internal/analysis/analysistest"
+	"sinrmac/internal/analysis/maporder"
+)
+
+func TestAnalyzerMaporder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "maporder")
+}

@@ -1,0 +1,95 @@
+// Fixture for the maporder analyzer: map iteration with order-sensitive
+// bodies is a violation; sorted-keys, collect-then-sort and the
+// //sinrlint:allow maporder annotation are the sanctioned escapes.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"sinrmac/internal/rng"
+)
+
+func appendUnsorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "appends to a slice"
+		out = append(out, v)
+	}
+	return out
+}
+
+// collectThenSort is the pardoned shape: the collected slice is sorted in
+// the same block before use, so map order cannot reach the output.
+func collectThenSort(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func floatAccumulate(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "floating-point sum"
+		sum += v
+	}
+	return sum
+}
+
+// intAccumulate is fine: integer addition is associative, so the sum is
+// order-independent.
+func intAccumulate(m map[int]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sortedKeys is the canonical deterministic shape: collect keys, sort,
+// then iterate the sorted slice.
+func sortedKeys(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func printsOutput(m map[int]int) {
+	for k, v := range m { // want "prints output"
+		fmt.Println(k, v)
+	}
+}
+
+func channelSend(m map[int]int, ch chan int) {
+	for _, v := range m { // want "sends on a channel"
+		ch <- v
+	}
+}
+
+func drawsInMapOrder(m map[int]bool, src *rng.Source) uint64 {
+	var last uint64
+	for range m { // want "draws randomness"
+		last = src.Uint64()
+	}
+	return last
+}
+
+// annotated is the negative case for the escape hatch: the doc-comment
+// annotation pardons the whole declaration.
+//
+//sinrlint:allow maporder fixture: order provably cannot reach output
+func annotated(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

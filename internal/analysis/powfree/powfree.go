@@ -1,0 +1,54 @@
+// Package powfree pins the pow-free kernel arithmetic invariant.
+//
+// The hardware-fast slot kernel PR replaced every math.Pow/math.Hypot on
+// the SINR evaluation paths with integer-exponent multiplication and
+// Sqrt∘DistSq — bit-identical for the supported α and several times
+// faster. This analyzer keeps it that way: inside internal/sinr and
+// internal/geom non-test code, any call to math.Pow or math.Hypot is a
+// violation unless the site carries //sinrlint:allow powfree with a
+// justification — reserved for the naive reference Channel, the
+// construction-time precomputations that run once per deployment, and the
+// generic-α fallbacks that the fast paths never take for the shipped
+// exponents.
+package powfree
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sinrmac/internal/analysis"
+)
+
+var forbidden = map[string]bool{"Pow": true, "Hypot": true}
+
+// Analyzer is the powfree check.
+var Analyzer = &analysis.Analyzer{
+	Name: "powfree",
+	Doc:  "forbid math.Pow/math.Hypot in internal/sinr and internal/geom outside annotated reference paths",
+	Match: func(path string) bool {
+		return path == "sinrmac/internal/sinr" || path == "sinrmac/internal/geom"
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.NonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.ObjectOf(id).(*types.PkgName)
+			if !ok || pn.Imported().Path() != "math" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "math.%s on a sinr/geom path; kernels are pow-free (integer-α multiplication, Sqrt∘DistSq) — annotate only reference or construction-time code", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package powfree_test
+
+import (
+	"testing"
+
+	"sinrmac/internal/analysis/analysistest"
+	"sinrmac/internal/analysis/powfree"
+)
+
+func TestAnalyzerPowfree(t *testing.T) {
+	analysistest.Run(t, powfree.Analyzer, "powfree")
+}

@@ -1,0 +1,35 @@
+// Fixture for the powfree analyzer: math.Pow/math.Hypot are violations
+// unless the site is covered by a //sinrlint:allow powfree annotation.
+package powfree
+
+import "math"
+
+func hotPow(d, alpha float64) float64 {
+	return math.Pow(d, alpha) // want "math.Pow on a sinr/geom path"
+}
+
+func hotHypot(x, y float64) float64 {
+	return math.Hypot(x, y) // want "math.Hypot on a sinr/geom path"
+}
+
+// sqrtIsFine: the sanctioned kernel arithmetic never triggers the analyzer.
+func sqrtIsFine(d2 float64) float64 {
+	return math.Sqrt(d2) * math.Abs(d2)
+}
+
+// referencePath is the negative case for the declaration-level escape
+// hatch: the whole body is pardoned by the doc-comment annotation.
+//
+//sinrlint:allow powfree fixture reference path, mirrors the naive Channel
+func referencePath(d, alpha float64) float64 {
+	return math.Pow(d, alpha) + math.Hypot(d, alpha)
+}
+
+// lineAllowed is the negative case for the line-level escape hatch: only
+// the annotated line is pardoned, the un-annotated one still fires.
+func lineAllowed(d, alpha float64) float64 {
+	//sinrlint:allow powfree construction-time derivation in fixture
+	p := math.Pow(d, alpha)
+	q := math.Pow(alpha, d) // want "math.Pow on a sinr/geom path"
+	return p + q
+}

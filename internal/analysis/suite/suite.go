@@ -1,0 +1,24 @@
+// Package suite assembles the repository's analyzer suite in its canonical
+// order. cmd/sinrlint, the CI gate and the whole-tree tests all consume
+// this single list so they cannot drift.
+package suite
+
+import (
+	"sinrmac/internal/analysis"
+	"sinrmac/internal/analysis/detrand"
+	"sinrmac/internal/analysis/frameretain"
+	"sinrmac/internal/analysis/hotalloc"
+	"sinrmac/internal/analysis/maporder"
+	"sinrmac/internal/analysis/powfree"
+)
+
+// Analyzers returns the full sinrlint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		maporder.Analyzer,
+		frameretain.Analyzer,
+		powfree.Analyzer,
+		hotalloc.Analyzer,
+	}
+}

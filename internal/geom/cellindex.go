@@ -230,6 +230,8 @@ func (ci *CellIndex) ApplyChurn(points []Point, dirty []int) bool {
 // at distance in [dmin, dmax]. The bounds depend only on the offset, which
 // is what lets the SINR bounds tier precompute per-offset power bounds once
 // and share them across every receiver-cell/transmitter-cell pair.
+//
+//sinrlint:allow powfree construction-time: called once per lattice offset when bounds/shard tables are built, never per slot
 func CellOffsetDistBounds(dx, dy int, cell float64) (dmin, dmax float64) {
 	ax, ay := dx, dy
 	if ax < 0 {

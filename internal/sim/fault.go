@@ -230,6 +230,8 @@ func (e *Engine) stepSerialFaults() {
 // FilterReceptions, panic draining) all run on the leader between the
 // parallel phases, so the fault sequence is identical to the serial
 // driver's at any worker count.
+//
+//sinrlint:allow detrand chunk-calibration probes; EWMA phase costs size chunks, the slot outcome is bit-identical at any sizing
 func (e *Engine) stepParallelFaults() {
 	slot := e.slot
 	n := len(e.nodes)

@@ -364,6 +364,8 @@ func (f *FastChannel) finishBounds() {
 // max updates are untouched — so every aggregate is bit-identical to the
 // scalar loop's (hoisting the count conversion out of the far branch
 // changes no arithmetic: the multiply still happens only in the far case).
+//
+//sinrlint:hotpath
 func (f *FastChannel) boundsPrepChunk(lo, hi, _ int) {
 	bi := f.bidx
 	occ := f.occT
@@ -469,15 +471,12 @@ func (f *FastChannel) boundsPrepChunk(lo, hi, _ int) {
 // miss). Certified receivers cost O(near transmitters); the rest re-run the
 // exact dense arithmetic of gridChunk — same power source, same tx-order
 // summation — so the emitted decisions are bit-identical to the dense scan.
+//
+//sinrlint:hotpath
 func (f *FastChannel) boundsGridChunk(lo, hi, worker int) {
 	tx := f.tx
 	dec := f.decoded[worker]
-	row := f.rows[worker]
-	if cap(row) < len(tx) {
-		row = make([]float64, len(tx))
-		f.rows[worker] = row
-	}
-	row = row[:len(tx)]
+	row := f.workerRow(worker)
 	bi := f.bidx
 	stride := bi.nearStride
 	var evaluated, refined uint64
@@ -559,6 +558,8 @@ func (f *FastChannel) boundsGridChunk(lo, hi, worker int) {
 
 // boundsMatrixChunk is boundsGridChunk with powers served from the cached
 // n×n matrix; the fallback is identical to matrixChunk.
+//
+//sinrlint:hotpath
 func (f *FastChannel) boundsMatrixChunk(lo, hi, worker int) {
 	tx := f.tx
 	dec := f.decoded[worker]

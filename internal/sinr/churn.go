@@ -230,6 +230,8 @@ func (f *FastChannel) ApplyEpoch(d *EpochDelta) error {
 }
 
 // patchAfterEpoch is the incremental path of ApplyEpoch.
+//
+//sinrlint:hotpath
 func (f *FastChannel) patchAfterEpoch(d *EpochDelta, oldN int) {
 	n := f.n
 	// Power matrix: recompute the row and column of every dirty slot,
@@ -238,6 +240,7 @@ func (f *FastChannel) patchAfterEpoch(d *EpochDelta, oldN int) {
 	if f.mat != nil {
 		if n > f.stride {
 			stride := n + n/4 + 8
+			//sinrlint:allow hotalloc amortized matrix growth, taken only when an epoch raises n past the stride headroom; steady-state churn stays alloc-free (churn alloc tests)
 			grown := make([]float64, stride*stride)
 			for r := 0; r < oldN; r++ {
 				copy(grown[r*stride:r*stride+oldN], f.mat[r*f.stride:r*f.stride+oldN])

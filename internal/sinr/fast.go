@@ -413,6 +413,9 @@ func alphaCase(alpha float64) int {
 // switch hoisted into evaluator fields, so the result is bit-identical to
 // the naive evaluator's on every input while the pair loops stay free of
 // calls and table loads.
+//
+//sinrlint:allow powfree generic-α fallback in the final return; shipped exponents take the multiplication cases
+//sinrlint:hotpath
 func (f *FastChannel) pairPower(ax, ay, bx, by float64) float64 {
 	dx := ax - bx
 	dy := ay - by
@@ -436,6 +439,8 @@ func (f *FastChannel) pairPower(ax, ay, bx, by float64) float64 {
 // once: per lane exactly the scalar operation sequence (subtractions,
 // dx²+dy², Sqrt, near-field clamp), so each lane's distance is bit-identical
 // to the scalar kernel's while the four Sqrt chains overlap.
+//
+//sinrlint:hotpath
 func dist4(sx, sy float64, px, py []float64, i int) (d0, d1, d2, d3 float64) {
 	dx0, dy0 := sx-px[i], sy-py[i]
 	dx1, dy1 := sx-px[i+1], sy-py[i+1]
@@ -467,6 +472,9 @@ func dist4(sx, sy float64, px, py []float64, i int) (d0, d1, d2, d3 float64) {
 // entry is bit-identical to the scalar call (the kernel differential tests
 // pin this, remainder lanes included); the blocked form overlaps the
 // independent Sqrt/divide chains and hoists the slice bounds checks.
+//
+//sinrlint:allow powfree generic-α fallback in the default case; shipped exponents take the blocked multiplication cases
+//sinrlint:hotpath
 func (f *FastChannel) fillColumn(col []float64, sx, sy float64) {
 	n := len(col)
 	px := f.px[:n]
@@ -794,6 +802,22 @@ func (f *FastChannel) RunChunk(lo, hi, worker int) { f.chunkFn(f, lo, hi, worker
 
 // runChunks evaluates fn over [0, n) on the worker pool, growing the
 // per-worker scratch first.
+// workerRow returns worker's per-slot received-power scratch row sized for
+// the current transmitter set, growing it when a larger slot arrives. The
+// growth is amortized ownership, not steady-state allocation: capacity only
+// ratchets up to the largest |tx| seen by this worker, so the alloc-free
+// slot gates (TestEngineStepAllocFree, macbench allocs/op) never re-enter
+// the make. Keeping the single make here leaves the chunk kernels
+// statically allocation-free for the hotalloc analyzer.
+func (f *FastChannel) workerRow(worker int) []float64 {
+	row := f.rows[worker]
+	if cap(row) < len(f.tx) {
+		row = make([]float64, len(f.tx))
+		f.rows[worker] = row
+	}
+	return row[:len(f.tx)]
+}
+
 func (f *FastChannel) runChunks(n int, fn func(f *FastChannel, lo, hi, worker int)) {
 	workers := f.workers
 	if len(f.rows) < workers {
@@ -965,6 +989,8 @@ func (f *FastChannel) buildCandidates(tx []int) {
 // of the scalar loop; the four-stream layout is also the shape
 // SIMD-capable compilers vectorise (independent lanes, no cross-lane
 // reduction).
+//
+//sinrlint:hotpath
 func matrixTotals4(tx []int, row0, row1, row2, row3 []float64) (t0, t1, t2, t3 float64) {
 	for _, s := range tx {
 		t0 += row0[s]
@@ -977,6 +1003,8 @@ func matrixTotals4(tx []int, row0, row1, row2, row3 []float64) (t0, t1, t2, t3 f
 
 // matrixDecodeRow applies the decode scan to one receiver given its matrix
 // row and precomputed interference total.
+//
+//sinrlint:hotpath
 func (f *FastChannel) matrixDecodeRow(r int, row []float64, total float64, dec []int) []int {
 	for _, s := range f.tx {
 		signal := row[s]
@@ -996,6 +1024,8 @@ func (f *FastChannel) matrixDecodeRow(r int, row []float64, total float64, dec [
 // one shared transmitter pass for the four totals, then per-receiver
 // decode scans in block order (ascending within the chunk, so the decode
 // list order matches the scalar loop's).
+//
+//sinrlint:hotpath
 func (f *FastChannel) matrixBlock4(blk *[4]int, dec []int) []int {
 	m, stride, n := f.mat, f.stride, f.n
 	row0 := m[blk[0]*stride : blk[0]*stride+n]
@@ -1023,6 +1053,8 @@ func (f *FastChannel) matrixScalar(r int, dec []int) []int {
 
 // matrixChunk evaluates receivers [lo, hi) against the cached power matrix,
 // in 4-wide listener blocks with a scalar remainder.
+//
+//sinrlint:hotpath
 func (f *FastChannel) matrixChunk(lo, hi, worker int) {
 	dec := f.decoded[worker]
 	var blk [4]int
@@ -1048,6 +1080,8 @@ func (f *FastChannel) matrixChunk(lo, hi, worker int) {
 // candidate index) against the cached power matrix. The arithmetic is
 // identical to matrixChunk — the same 4-wide blocks, filled in candidate
 // order; only the receiver enumeration differs.
+//
+//sinrlint:hotpath
 func (f *FastChannel) sparseMatrixChunk(lo, hi, worker int) {
 	dec := f.decoded[worker]
 	var blk [4]int
@@ -1074,15 +1108,12 @@ func (f *FastChannel) sparseMatrixChunk(lo, hi, worker int) {
 // path: receivers with no transmitter within the transmission range are
 // culled outright, and the rest compute each received power exactly once
 // into the worker's scratch row.
+//
+//sinrlint:hotpath
 func (f *FastChannel) gridChunk(lo, hi, worker int) {
 	tx := f.tx
 	dec := f.decoded[worker]
-	row := f.rows[worker]
-	if cap(row) < len(tx) {
-		row = make([]float64, len(tx))
-		f.rows[worker] = row
-	}
-	row = row[:len(tx)]
+	row := f.workerRow(worker)
 	for r := lo; r < hi; r++ {
 		if f.isTx[r] {
 			continue
@@ -1121,15 +1152,12 @@ func (f *FastChannel) gridChunk(lo, hi, worker int) {
 // candidate index) on the grid path. Candidates are exactly the receivers
 // AnyWithin would pass, so the existence probe is skipped; the power
 // arithmetic is identical to gridChunk.
+//
+//sinrlint:hotpath
 func (f *FastChannel) sparseGridChunk(lo, hi, worker int) {
 	tx := f.tx
 	dec := f.decoded[worker]
-	row := f.rows[worker]
-	if cap(row) < len(tx) {
-		row = make([]float64, len(tx))
-		f.rows[worker] = row
-	}
-	row = row[:len(tx)]
+	row := f.workerRow(worker)
 	for i := lo; i < hi; i++ {
 		r := f.candidates[i]
 		if f.isTx[r] {

@@ -435,6 +435,8 @@ func (f *FastChannel) finishShard() {
 // independent chains. Per lane the operations — window skip, bound sums in
 // occupied order, max update — are exactly the scalar body's, so the
 // aggregates are bit-identical to the scalar loop's.
+//
+//sinrlint:hotpath
 func (f *FastChannel) superFarChunk(lo, hi, _ int) {
 	ext := f.sext
 	occS := f.occS
@@ -525,15 +527,12 @@ func (f *FastChannel) superFarChunk(lo, hi, _ int) {
 // supercell far field, then runs the standard certificate per listener:
 // near transmitters exactly, decode/silence decisions emitted only when
 // provable, the ambiguous band refined with the exact O(k) arithmetic.
+//
+//sinrlint:hotpath
 func (f *FastChannel) shardBoundsChunk(lo, hi, worker int) {
 	tx := f.tx
 	dec := f.decoded[worker]
-	row := f.rows[worker]
-	if cap(row) < len(tx) {
-		row = make([]float64, len(tx))
-		f.rows[worker] = row
-	}
-	row = row[:len(tx)]
+	row := f.workerRow(worker)
 	bi := f.bidx
 	ext := f.sext
 	cells := bi.cells
@@ -668,15 +667,12 @@ func (f *FastChannel) shardBoundsChunk(lo, hi, worker int) {
 // received power there below cullPower — the same conservative argument as
 // the per-receiver grid cull), and each surviving listener pays the exact
 // O(k) row, bit-identical to the dense scan.
+//
+//sinrlint:hotpath
 func (f *FastChannel) shardDenseChunk(lo, hi, worker int) {
 	tx := f.tx
 	dec := f.decoded[worker]
-	row := f.rows[worker]
-	if cap(row) < len(tx) {
-		row = make([]float64, len(tx))
-		f.rows[worker] = row
-	}
-	row = row[:len(tx)]
+	row := f.workerRow(worker)
 	ext := f.sext
 	cells := f.bidx.cells
 	for si := lo; si < hi; si++ {
@@ -738,15 +734,12 @@ func (f *FastChannel) shardDenseChunk(lo, hi, worker int) {
 // candidate index) in the sharded regime: the arithmetic of the sparse grid
 // path with every power recomputed by the fused kernel (the regime keeps no
 // column cache by design).
+//
+//sinrlint:hotpath
 func (f *FastChannel) sparseShardChunk(lo, hi, worker int) {
 	tx := f.tx
 	dec := f.decoded[worker]
-	row := f.rows[worker]
-	if cap(row) < len(tx) {
-		row = make([]float64, len(tx))
-		f.rows[worker] = row
-	}
-	row = row[:len(tx)]
+	row := f.workerRow(worker)
 	for i := lo; i < hi; i++ {
 		r := f.candidates[i]
 		if f.isTx[r] {

@@ -84,6 +84,8 @@ type Params struct {
 // DefaultParams returns a parameter set with α = 3, β = 1.5, unit noise and
 // ε = 0.1, with the power chosen so that the transmission range R is the
 // given value. These are the defaults used by examples and experiments.
+//
+//sinrlint:allow powfree construction-time parameter derivation, runs once per experiment
 func DefaultParams(transmissionRange float64) Params {
 	p := Params{
 		Alpha:   3,
@@ -116,6 +118,8 @@ func (p Params) Validate() error {
 
 // Range returns the transmission range R = (P/(βN))^{1/α}: the maximum
 // distance at which a message can be received when no other node transmits.
+//
+//sinrlint:allow powfree construction-time derived quantity, never on a slot path
 func (p Params) Range() float64 {
 	return math.Pow(p.Power/(p.Beta*p.Noise), 1/p.Alpha)
 }
@@ -151,6 +155,8 @@ func (p Params) ApproxRange() float64 {
 // differential suite (TestReceivedPowerPowFree) pins this equality; the
 // exponent dispatch is three float compares, which the evaluators hoist
 // out of their pair loops entirely (FastChannel precomputes the case).
+//
+//sinrlint:allow powfree generic-α reference fallback; integer α ∈ {2,3,4} takes the multiplication cases above it
 func (p Params) ReceivedPower(d float64) float64 {
 	if d < 1 {
 		d = 1
